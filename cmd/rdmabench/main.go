@@ -1,0 +1,55 @@
+// Command rdmabench regenerates the paper's tables and figures on the
+// simulated cluster and prints them as aligned text.
+//
+// Usage:
+//
+//	rdmabench -list
+//	rdmabench -exp fig3
+//	rdmabench -exp all -scale 0.25
+//
+// Scale 1.0 runs the full sweeps (minutes for the join figures); smaller
+// scales shrink horizons and input sizes proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdmasem/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	scale := flag.Float64("scale", 1.0, "sweep scale in (0,1]")
+	format := flag.String("format", "text", "output format: text, csv, chart")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range bench.List() {
+			fmt.Println("  " + id)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.List()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		report, err := bench.Run(id, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdmabench: %v\n", err)
+			os.Exit(1)
+		}
+		report.RenderFormat(os.Stdout, *format)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

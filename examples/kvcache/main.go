@@ -1,0 +1,76 @@
+// kvcache demonstrates the disaggregated hashtable case study: a back-end
+// machine stores the table, front-ends access it with one-sided RDMA, and
+// the paper's optimizations (NUMA-aware routing, hot-entry consolidation)
+// are applied step by step under a zipf(0.99) write workload.
+//
+//	go run ./examples/kvcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdmasem/internal/apps/hashtable"
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/topo"
+	"rdmasem/internal/workload"
+)
+
+func run(level hashtable.Level, theta int) float64 {
+	cl, err := cluster.New(cluster.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const keySpace = 1 << 14
+	z, err := workload.NewZipf(keySpace, 0.99, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend, err := hashtable.NewBackend(cl.Machine(0), hashtable.Config{
+		Level:     level,
+		KeySpace:  keySpace,
+		ValueSize: 64,
+		Theta:     theta,
+		BlockBits: 4,
+		HotKeys:   z.HotSet(keySpace / 8),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	val := make([]byte, 64)
+	var clients []*sim.Client
+	for i := 0; i < 8; i++ {
+		fe, err := hashtable.NewFrontEnd(i, cl.Machine(1+i%7), topo.SocketID(i%2), backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys, err := workload.NewZipf(keySpace, 0.99, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients = append(clients, &sim.Client{
+			PostCost: 200,
+			Window:   4,
+			Op: func(post sim.Time) sim.Time {
+				d, err := fe.Put(post, keys.Next(), val)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return d
+			},
+		})
+	}
+	return sim.RunClosedLoop(clients, 2*sim.Millisecond).MOPS()
+}
+
+func main() {
+	fmt.Println("disaggregated hashtable, 8 front-ends, zipf(0.99) 100% writes")
+	basic := run(hashtable.Basic, 4)
+	numa := run(hashtable.NUMA, 4)
+	reorder := run(hashtable.Reorder, 16)
+	fmt.Printf("  basic hashtable          : %6.2f MOPS\n", basic)
+	fmt.Printf("  + NUMA-aware routing     : %6.2f MOPS (%.2fx)\n", numa, numa/basic)
+	fmt.Printf("  + hot-entry consolidation: %6.2f MOPS (%.2fx)\n", reorder, reorder/basic)
+	fmt.Println("paper (Fig 12): the full optimization stack reaches 1.85-2.70x the basic table")
+}

@@ -1,0 +1,69 @@
+// tracer demonstrates per-operation stage tracing: it posts the same 64 B
+// write under every NUMA placement and prints each one's stage timeline and
+// the paper's Section III-D latency decomposition
+// T(RNIC->Socket) + T(Network) + T(Socket->Memory).
+//
+//	go run ./examples/tracer
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/topo"
+	"rdmasem/internal/verbs"
+)
+
+func main() {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctxA := verbs.NewContext(cl.Machine(0))
+	ctxB := verbs.NewContext(cl.Machine(1))
+
+	fmt.Println("64B WRITE under the four placements of Table III:")
+	fmt.Println()
+	for _, p := range []struct {
+		label        string
+		core         topo.SocketID
+		lSock, rSock topo.SocketID
+	}{
+		{"own core, own mem, matched remote", 1, 1, 1},
+		{"own core, ALT local buffer", 1, 0, 1},
+		{"ALT core, own mem", 0, 1, 1},
+		{"ALT everything", 0, 0, 0},
+	} {
+		qp, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qp.BindCore(p.core)
+		lbuf := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(p.lSock, 4096, 0))
+		rbuf := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(p.rSock, 4096, 0))
+		wr := &verbs.SendWR{
+			Opcode:     verbs.OpWrite,
+			SGL:        []verbs.SGE{{Addr: lbuf.Addr(), Length: 64, MR: lbuf}},
+			RemoteAddr: rbuf.Addr(),
+			RemoteKey:  rbuf.RKey(),
+		}
+		// Warm the metadata caches, then trace a steady-state operation.
+		if _, err := qp.PostSend(0, wr); err != nil {
+			log.Fatal(err)
+		}
+		_, tr, err := qp.PostSendTraced(100*sim.Microsecond, wr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n", p.label)
+		tr.Render(os.Stdout)
+		b := tr.Decompose()
+		fmt.Printf("  III-D decomposition: RNIC->Socket %v | Network %v | Socket->Memory %v\n\n",
+			b.RNICToSocket, b.Network, b.SocketToMemory)
+	}
+}

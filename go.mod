@@ -1,0 +1,3 @@
+module rdmasem
+
+go 1.22

@@ -1,0 +1,321 @@
+package dlog
+
+import (
+	"fmt"
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/topo"
+	"rdmasem/internal/workload"
+)
+
+func newCluster(t *testing.T, machines int) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = machines
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestValidation(t *testing.T) {
+	cl := newCluster(t, 1)
+	if _, err := NewLog(cl.Machine(0), Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	cl := newCluster(t, 2)
+	cfg := DefaultConfig()
+	cfg.Batch = 4
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(1, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, done, err := e.AppendBatch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Fatalf("first reservation should be 0, got %d", first)
+	}
+	if done < 3000 {
+		t.Fatalf("append (FAA + write) completed suspiciously fast: %v", done)
+	}
+	for i := uint64(0); i < 4; i++ {
+		rec, err := l.Record(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !workload.CheckValue(rec, i) {
+			t.Fatalf("record %d corrupt", i)
+		}
+	}
+	if l.Head() != 4 {
+		t.Fatalf("head=%d, want 4", l.Head())
+	}
+}
+
+func TestConcurrentEnginesNeverOverlap(t *testing.T) {
+	const engines = 6
+	cl := newCluster(t, engines+1)
+	cfg := DefaultConfig()
+	cfg.Batch = 8
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*sim.Client
+	reserved := map[uint64]int{} // first seq -> engine
+	for i := 0; i < engines; i++ {
+		e, err := NewEngine(i, cl.Machine(i+1), topo.SocketID(i%2), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		clients = append(clients, &sim.Client{
+			PostCost: 150,
+			Window:   1,
+			MaxOps:   20,
+			Op: func(post sim.Time) sim.Time {
+				first, done, err := e.AppendBatch(post)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev, dup := reserved[first]; dup {
+					t.Fatalf("engines %d and %d both reserved %d", prev, i, first)
+				}
+				reserved[first] = i
+				return done
+			},
+		})
+	}
+	sim.RunClosedLoop(clients, sim.Second)
+	if len(reserved) != engines*20 {
+		t.Fatalf("reservations=%d, want %d", len(reserved), engines*20)
+	}
+	// Reservations must tile [0, head) in steps of Batch.
+	if l.Head() != uint64(engines*20*8) {
+		t.Fatalf("head=%d, want %d", l.Head(), engines*20*8)
+	}
+	for first := range reserved {
+		if first%8 != 0 {
+			t.Fatalf("reservation %d not batch-aligned", first)
+		}
+	}
+	// Every record in every reserved extent is intact.
+	for first := range reserved {
+		for i := uint64(0); i < 8; i++ {
+			rec, err := l.Record(first + i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !workload.CheckValue(rec, first+i) {
+				t.Fatalf("record %d corrupt", first+i)
+			}
+		}
+	}
+}
+
+func TestBatchingImprovesThroughput(t *testing.T) {
+	run := func(batch int, numa bool) float64 {
+		const engines = 7
+		cl := newCluster(t, 8)
+		cfg := DefaultConfig()
+		cfg.Batch = batch
+		cfg.NUMA = numa
+		l, err := NewLog(cl.Machine(0), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clients []*sim.Client
+		for i := 0; i < engines; i++ {
+			e, err := NewEngine(i, cl.Machine(i%7+1), topo.SocketID(i%2), l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients = append(clients, &sim.Client{
+				PostCost: 150,
+				Window:   2,
+				Op: func(post sim.Time) sim.Time {
+					_, done, err := e.AppendBatch(post)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return done
+				},
+			})
+		}
+		res := sim.RunClosedLoop(clients, 10*sim.Millisecond)
+		return float64(res.Completed) * float64(batch) / 10e6 * 1000 // records MOPS
+	}
+	b1 := run(1, true)
+	b32 := run(32, true)
+	if b32 < 4*b1 {
+		t.Errorf("batch 32 (%.2f MOPS) should be >4x batch 1 (%.2f MOPS); paper: 9.1x", b32, b1)
+	}
+	t.Logf("batch1=%.2f batch32=%.2f MOPS (%.1fx)", b1, b32, b32/b1)
+}
+
+func TestNUMAStagingReducesLatencyUnderCrossTraffic(t *testing.T) {
+	run := func(numa bool) sim.Time {
+		cl := newCluster(t, 2)
+		cfg := DefaultConfig()
+		cfg.Batch = 16
+		cfg.NUMA = numa
+		l, err := NewLog(cl.Machine(0), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(0, cl.Machine(1), 1, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up, then measure a steady append.
+		if _, _, err := e.AppendBatch(0); err != nil {
+			t.Fatal(err)
+		}
+		base := sim.Time(sim.Millisecond)
+		_, done, err := e.AppendBatch(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done - base
+	}
+	// The staged copy trades CPU for avoiding QPI on the gather; both paths
+	// must work and produce close latencies, with the direct gather paying
+	// the interconnect.
+	with, without := run(true), run(false)
+	if with <= 0 || without <= 0 {
+		t.Fatal("appends must take time")
+	}
+	t.Logf("numa-staged=%v direct-gather=%v", with, without)
+}
+
+func TestLogFull(t *testing.T) {
+	cl := newCluster(t, 2)
+	cfg := DefaultConfig()
+	cfg.LogBytes = 4096
+	cfg.RecordSize = 1024
+	cfg.Batch = 4
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(0, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.AppendBatch(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.AppendBatch(0); err == nil {
+		t.Fatal("second batch must overflow the 4-record log")
+	}
+	if _, err := l.Record(99); err == nil {
+		t.Fatal("out-of-range record read must fail")
+	}
+}
+
+func TestReaderReplaysIntactAndInOrder(t *testing.T) {
+	cl := newCluster(t, 3)
+	cfg := DefaultConfig()
+	cfg.Batch = 8
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(0, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		_, d, err := e.AppendBatch(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	rd, err := NewReader(cl.Machine(2), 1, l, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	done, err := rd.Replay(now, 0, l.Head(), func(seq uint64, rec []byte) error {
+		if !workload.CheckValue(rec, seq) {
+			t.Fatalf("record %d corrupt during replay", seq)
+		}
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= now {
+		t.Fatal("replay must take time")
+	}
+	if len(seqs) != 80 {
+		t.Fatalf("replayed %d records, want 80", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("replay out of order at %d: %d", i, s)
+		}
+	}
+	// Bad range and callback error propagate.
+	if _, err := rd.Replay(done, 5, 2, nil); err == nil {
+		t.Fatal("inverted range must fail")
+	}
+	sentinel := fmt.Errorf("stop")
+	if _, err := rd.Replay(done, 0, 8, func(uint64, []byte) error { return sentinel }); err != sentinel {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+func TestReaderBatchingFewerReadsIsFaster(t *testing.T) {
+	cl := newCluster(t, 3)
+	cfg := DefaultConfig()
+	cfg.Batch = 16
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(0, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	for i := 0; i < 8; i++ {
+		_, d, err := e.AppendBatch(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	scan := func(perRead int) sim.Duration {
+		rd, err := NewReader(cl.Machine(2), 1, l, perRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := now + sim.Millisecond
+		done, err := rd.Replay(base, 0, l.Head(), func(uint64, []byte) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done - base
+	}
+	one := scan(1)
+	sixteen := scan(16)
+	if sixteen >= one/4 {
+		t.Fatalf("batched replay (%v) should be far faster than record-at-a-time (%v)", sixteen, one)
+	}
+}

@@ -1,0 +1,304 @@
+package hashtable
+
+import (
+	"bytes"
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/topo"
+	"rdmasem/internal/workload"
+)
+
+func newCluster(t *testing.T, machines int) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = machines
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func defaultConfig(level Level, hot []uint64) Config {
+	return Config{
+		Level:     level,
+		KeySpace:  1 << 12,
+		ValueSize: 64,
+		Theta:     4,
+		BlockBits: 4,
+		HotKeys:   hot,
+	}
+}
+
+func TestBackendValidation(t *testing.T) {
+	cl := newCluster(t, 1)
+	if _, err := NewBackend(cl.Machine(0), Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+}
+
+func TestColdPutGetRoundTrip(t *testing.T) {
+	for _, level := range []Level{Basic, NUMA} {
+		t.Run(level.String(), func(t *testing.T) {
+			cl := newCluster(t, 2)
+			b, err := NewBackend(cl.Machine(0), defaultConfig(level, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			val := make([]byte, 64)
+			workload.FillValue(val, 77)
+			d, err := fe.Put(0, 77, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d <= 0 {
+				t.Fatal("put must take time")
+			}
+			// Value is durable at the backend.
+			stored := make([]byte, 64)
+			if err := b.ReadCold(77, stored); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(stored, val) {
+				t.Fatal("cold put did not land at backend")
+			}
+			// And Get round-trips over the network.
+			out := make([]byte, 64)
+			if _, err := fe.Get(d, 77, out); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, val) {
+				t.Fatal("cold get returned wrong value")
+			}
+		})
+	}
+}
+
+func TestColdPutVersioning(t *testing.T) {
+	cl := newCluster(t, 2)
+	b, err := NewBackend(cl.Machine(0), defaultConfig(Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	now := sim.Time(0)
+	var versions []uint64
+	for i := 0; i < 3; i++ {
+		d, err := fe.Put(now, 5, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+		// Read the stored version word of the entry.
+		_, addr := b.coldLocation(5)
+		var vb [8]byte
+		if err := b.Machine().Space().ReadAt(addr+8, vb[:]); err != nil {
+			t.Fatal(err)
+		}
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v |= uint64(vb[j]) << (8 * j)
+		}
+		versions = append(versions, v)
+	}
+	// Versions must be strictly increasing (multi-version concurrency).
+	for i := 1; i < len(versions); i++ {
+		if versions[i] <= versions[i-1] {
+			t.Fatalf("versions not increasing: %v", versions)
+		}
+	}
+	// One epoch reservation covers all three writes: the remote counter
+	// advanced exactly once.
+	var vb [8]byte
+	if err := b.Machine().Space().ReadAt(b.versionAddr(5), vb[:]); err != nil {
+		t.Fatal(err)
+	}
+	if vb[0] != 1 {
+		t.Fatalf("epoch counter=%d, want 1 (amortized FAA)", vb[0])
+	}
+	_, cold := fe.Stats()
+	if cold != 3 {
+		t.Fatalf("cold paths=%d, want 3", cold)
+	}
+}
+
+func TestHotPutConsolidates(t *testing.T) {
+	cl := newCluster(t, 2)
+	hot := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	cfg := defaultConfig(Reorder, hot)
+	b, err := NewBackend(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	now := sim.Time(0)
+	var times []sim.Duration
+	for i, k := range hot[:4] { // theta=4: 4th write to the block flushes
+		workload.FillValue(val, k)
+		d, err := fe.Put(now, k, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, d-now)
+		now = d
+		_ = i
+	}
+	// First three absorbed cheaply; the fourth pays lock + flush + unlock.
+	for i := 0; i < 3; i++ {
+		if times[i] > 500 {
+			t.Fatalf("absorbed hot put %d took %v", i, times[i])
+		}
+	}
+	if times[3] < 3000 {
+		t.Fatalf("flushing put took only %v; expected lock+flush+unlock", times[3])
+	}
+	// All four entries are durable at the backend hot area.
+	for _, k := range hot[:4] {
+		stored := make([]byte, 64)
+		if err := b.ReadHot(k, stored); err != nil {
+			t.Fatal(err)
+		}
+		if !workload.CheckValue(stored, k) {
+			t.Fatalf("hot key %d not durable after flush", k)
+		}
+	}
+	hotHits, cold := fe.Stats()
+	if hotHits != 4 || cold != 0 {
+		t.Fatalf("stats hot=%d cold=%d", hotHits, cold)
+	}
+}
+
+func TestHotGetReadYourWrites(t *testing.T) {
+	cl := newCluster(t, 2)
+	hot := []uint64{100, 101}
+	cfg := defaultConfig(Reorder, hot)
+	cfg.Theta = 100 // never flush during the test
+	b, err := NewBackend(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	workload.FillValue(val, 100)
+	d, err := fe.Put(0, 100, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	d2, err := fe.Get(d, 100, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, val) {
+		t.Fatal("hot get must see the unflushed write")
+	}
+	if d2-d > 500 {
+		t.Fatalf("shadow-hit get took %v; should be CPU-cheap", d2-d)
+	}
+	// Flush, then the value must be durable.
+	if _, err := fe.Flush(d2); err != nil {
+		t.Fatal(err)
+	}
+	stored := make([]byte, 64)
+	if err := b.ReadHot(100, stored); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored, val) {
+		t.Fatal("flushed hot value missing at backend")
+	}
+}
+
+func TestValueSizeValidation(t *testing.T) {
+	cl := newCluster(t, 2)
+	b, err := NewBackend(cl.Machine(0), defaultConfig(Basic, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fe.Put(0, 1, make([]byte, 3)); err == nil {
+		t.Fatal("wrong value size must fail")
+	}
+	if _, err := fe.Get(0, 1, make([]byte, 3)); err == nil {
+		t.Fatal("wrong out size must fail")
+	}
+	if err := b.ReadHot(999, make([]byte, 64)); err == nil {
+		t.Fatal("ReadHot of a cold key must fail")
+	}
+}
+
+// Figure 12's qualitative claim: Reorder > NUMA > Basic throughput under a
+// zipf write workload with multiple front-ends.
+func TestOptimizationLevelsOrdering(t *testing.T) {
+	run := func(level Level, theta int) float64 {
+		cl := newCluster(t, 5)
+		z, err := workload.NewZipf(1<<12, 0.99, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := defaultConfig(level, z.HotSet(1<<10))
+		cfg.Theta = theta
+		b, err := NewBackend(cl.Machine(0), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clients []*sim.Client
+		val := make([]byte, 64)
+		for mi := 1; mi < 5; mi++ {
+			for s := 0; s < 2; s++ {
+				fe, err := NewFrontEnd(mi*2+s, cl.Machine(mi), topo.SocketID(s), b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys, err := workload.NewZipf(1<<12, 0.99, int64(100+mi*2+s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys.SetScramble(true)
+				clients = append(clients, &sim.Client{
+					PostCost: 200,
+					Window:   8,
+					Op: func(post sim.Time) sim.Time {
+						workload.FillValue(val, 1)
+						d, err := fe.Put(post, keys.Next(), val)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return d
+					},
+				})
+			}
+		}
+		res := sim.RunClosedLoop(clients, 5*sim.Millisecond)
+		return res.MOPS()
+	}
+	basic := run(Basic, 4)
+	numa := run(NUMA, 4)
+	reorder := run(Reorder, 16)
+	if !(numa > basic*1.03) {
+		t.Errorf("NUMA (%.2f) should beat Basic (%.2f)", numa, basic)
+	}
+	if !(reorder > numa*1.2) {
+		t.Errorf("Reorder (%.2f) should beat NUMA (%.2f) clearly", reorder, numa)
+	}
+	t.Logf("basic=%.2f numa=%.2f reorder=%.2f MOPS", basic, numa, reorder)
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/stats"
+	"rdmasem/internal/topo"
+	"rdmasem/internal/verbs"
+)
+
+// newDetRand returns a deterministic PRNG for benchmark address streams.
+func newDetRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// topoSock converts an int to a socket id.
+func topoSock(s int) topo.SocketID { return topo.SocketID(s) }
+
+func init() {
+	register("mrscale", MRScale)
+	register("qpscale", QPScale)
+	register("ablation-xlate", AblationTranslationCache)
+	register("ablation-mmio", AblationMMIOCost)
+	register("ablation-qpi", AblationQPILatency)
+}
+
+// MRScale reproduces Section II-B2's MR observation: with 10x the memory
+// regions the 32 B access latency degrades on the order of 60% because the
+// MR records no longer fit the metadata SRAM.
+func MRScale(scale float64) (*Report, error) {
+	_ = scale
+	tb := stats.NewTable("MR scalability: 32B write latency vs registered MR count")
+	tb.Row("MRs", "latency (us)", "vs 16 MRs")
+	var base float64
+	for _, nMR := range []int{16, 64, 160, 512} {
+		env, err := newPair(1 << 22)
+		if err != nil {
+			return nil, err
+		}
+		mrs := make([]*verbs.MR, nMR)
+		for i := range mrs {
+			r, err := env.cl.Machine(1).Alloc(1, 4096, 0)
+			if err != nil {
+				return nil, err
+			}
+			mrs[i] = env.ctxB.MustRegisterMR(r)
+		}
+		// Round-robin over all MRs so the MR cache keeps churning, then
+		// measure the average latency.
+		var sum sim.Duration
+		const probes = 256
+		now := sim.Time(0)
+		for i := 0; i < probes; i++ {
+			target := mrs[i%nMR]
+			c, err := env.qpA.PostSend(now, &verbs.SendWR{
+				Opcode:     verbs.OpWrite,
+				SGL:        []verbs.SGE{{Addr: env.mrA.Addr(), Length: 32, MR: env.mrA}},
+				RemoteAddr: target.Addr(),
+				RemoteKey:  target.RKey(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if i >= probes/2 { // skip warmup
+				sum += c.Done - now
+			}
+			now = c.Done + sim.Microsecond
+		}
+		lat := float64(sum) / float64(probes/2) / 1e3
+		if base == 0 {
+			base = lat
+		}
+		tb.Row(fmt.Sprintf("%d", nMR), fmt.Sprintf("%.2f", lat), fmt.Sprintf("%+.0f%%", (lat/base-1)*100))
+	}
+	return &Report{
+		ID:     "mrscale",
+		Tables: []*stats.Table{tb},
+		Notes:  []string{"paper II-B2: 10x MRs degrades 32B access latency by about 60%"},
+	}, nil
+}
+
+// QPScale reproduces Section II-B2's connection observation (after Chen et
+// al.): throughput degrades roughly 50% when the client count grows ~3x past
+// the QP-context cache.
+func QPScale(scale float64) (*Report, error) {
+	fig := stats.NewFigure("QP scalability: aggregate 32B write throughput vs client count", "clients", "throughput (MOPS)")
+	h := horizon(scale, 5*sim.Millisecond)
+	for _, clients := range []int{40, 80, 120, 160, 240} {
+		env, err := newPair(1 << 22)
+		if err != nil {
+			return nil, err
+		}
+		var cs []*sim.Client
+		for c := 0; c < clients; c++ {
+			qp, _ := verbs.MustConnect(env.ctxA, 1, env.ctxB, 1, verbs.RC)
+			wr := &verbs.SendWR{
+				Opcode:     verbs.OpWrite,
+				SGL:        []verbs.SGE{{Addr: env.mrA.Addr() + mem.Addr(c*64), Length: 32, MR: env.mrA}},
+				RemoteAddr: env.mrB.Addr() + mem.Addr(c*64),
+				RemoteKey:  env.mrB.RKey(),
+			}
+			cs = append(cs, &sim.Client{
+				PostCost: 150,
+				Window:   2,
+				Op: func(post sim.Time) sim.Time {
+					comp, err := qp.PostSend(post, wr)
+					if err != nil {
+						panic(err)
+					}
+					return comp.Done
+				},
+			})
+		}
+		res := sim.RunClosedLoop(cs, h)
+		fig.Line("aggregate").Add(float64(clients), res.MOPS())
+	}
+	return &Report{
+		ID:      "qpscale",
+		Figures: []*stats.Figure{fig},
+		Notes:   []string{"paper II-B2 (after Chen et al.): ~50% throughput loss when clients grow from 40 to 120 (QP contexts spill from SRAM)"},
+	}, nil
+}
+
+// AblationTranslationCache sweeps the SRAM translation-cache capacity and
+// shows the random-access throughput tracking it (the design knob behind
+// Figures 6a/b/d).
+func AblationTranslationCache(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Ablation: translation cache entries vs 32B random write throughput (64MB region)", "entries", "throughput (MOPS)")
+	h := horizon(scale, 5*sim.Millisecond)
+	for _, entries := range []int{0, 256, 1024, 4096, 16384} {
+		cfg := cluster.DefaultConfig()
+		cfg.Machines = 2
+		cfg.NIC.TranslationEntries = entries
+		m, err := customPairThroughput(cfg, 64<<20, h)
+		if err != nil {
+			return nil, err
+		}
+		fig.Line("rand-rand").Add(float64(entries), m)
+	}
+	return &Report{
+		ID:      "ablation-xlate",
+		Figures: []*stats.Figure{fig},
+		Notes:   []string{"16384 entries cover the whole 64MB region: random matches sequential; 0 disables the cache entirely"},
+	}, nil
+}
+
+// AblationMMIOCost sweeps the doorbell MMIO cost, the constant whose
+// amortization is Doorbell batching's whole value proposition.
+func AblationMMIOCost(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Ablation: MMIO cost vs small-write latency", "mmio(ns)", "latency (us)")
+	_ = scale
+	for _, mmio := range []int{100, 250, 500, 1000} {
+		cfg := cluster.DefaultConfig()
+		cfg.Machines = 2
+		cfg.NIC.MMIOCost = sim.Duration(mmio)
+		lat, err := customPairLatency(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fig.Line("32B write").Add(float64(mmio), lat)
+	}
+	return &Report{
+		ID:      "ablation-mmio",
+		Figures: []*stats.Figure{fig},
+	}, nil
+}
+
+// AblationQPILatency sweeps the inter-socket hop cost and reports the
+// worst-vs-best placement latency gap of Table III.
+func AblationQPILatency(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Ablation: QPI hop latency vs placement penalty", "qpi(ns)", "worst/best latency ratio")
+	_ = scale
+	for _, qpi := range []int{35, 70, 140, 280} {
+		cfg := cluster.DefaultConfig()
+		cfg.Machines = 2
+		cfg.Topo.QPILatency = sim.Duration(qpi)
+		best, err := customPlacementLatency(cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		worst, err := customPlacementLatency(cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		fig.Line("write").Add(float64(qpi), worst/best)
+	}
+	return &Report{
+		ID:      "ablation-qpi",
+		Figures: []*stats.Figure{fig},
+		Notes:   []string{"the paper's ~55% worst-case latency penalty scales directly with the interconnect hop cost"},
+	}, nil
+}
+
+// customPairThroughput builds a pair on a custom cluster config and measures
+// random 32B write throughput over the given remote region.
+func customPairThroughput(cfg cluster.Config, region int, h sim.Duration) (float64, error) {
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ctxA, ctxB := verbs.NewContext(cl.Machine(0)), verbs.NewContext(cl.Machine(1))
+	qp, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+	if err != nil {
+		return 0, err
+	}
+	la, err := cl.Machine(0).Alloc(1, 1<<20, 0)
+	if err != nil {
+		return 0, err
+	}
+	ra, err := cl.Machine(1).Space().AllocSparse(1, region, 1<<20)
+	if err != nil {
+		return 0, err
+	}
+	mrA, mrB := ctxA.MustRegisterMR(la), ctxB.MustRegisterMR(ra)
+	// Pre-warm the responder's translation cache over the whole region so
+	// the sweep measures steady-state residency, not cold misses.
+	for pg := 0; pg < region/mem.PageSize; pg++ {
+		cl.Machine(1).NIC().Translate(mrB.Addr()+mem.Addr(pg*mem.PageSize), 8)
+	}
+	rng := newDetRand(3)
+	res := measure(func(t sim.Time) sim.Time {
+		off := rng.Intn(region-64) &^ 7
+		c, err := qp.PostSend(t, &verbs.SendWR{
+			Opcode:     verbs.OpWrite,
+			SGL:        []verbs.SGE{{Addr: mrA.Addr(), Length: 32, MR: mrA}},
+			RemoteAddr: mrB.Addr() + mem.Addr(off),
+			RemoteKey:  mrB.RKey(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return c.Done
+	}, 16, 150, h)
+	return res.MOPS(), nil
+}
+
+// customPairLatency measures the warm 32B write latency on a custom config.
+func customPairLatency(cfg cluster.Config) (float64, error) {
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ctxA, ctxB := verbs.NewContext(cl.Machine(0)), verbs.NewContext(cl.Machine(1))
+	qp, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+	if err != nil {
+		return 0, err
+	}
+	la, _ := cl.Machine(0).Alloc(1, 1<<16, 0)
+	ra, _ := cl.Machine(1).Alloc(1, 1<<16, 0)
+	mrA, mrB := ctxA.MustRegisterMR(la), ctxB.MustRegisterMR(ra)
+	wr := &verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        []verbs.SGE{{Addr: mrA.Addr(), Length: 32, MR: mrA}},
+		RemoteAddr: mrB.Addr(),
+		RemoteKey:  mrB.RKey(),
+	}
+	if _, err := qp.PostSend(0, wr); err != nil {
+		return 0, err
+	}
+	lat := sim.RunOnce(func(t sim.Time) sim.Time {
+		c, err := qp.PostSend(t, wr)
+		if err != nil {
+			panic(err)
+		}
+		return c.Done
+	}, sim.Millisecond)
+	return lat.Micros(), nil
+}
+
+// customPlacementLatency measures best- or worst-placement write latency.
+func customPlacementLatency(cfg cluster.Config, worst bool) (float64, error) {
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ctxA, ctxB := verbs.NewContext(cl.Machine(0)), verbs.NewContext(cl.Machine(1))
+	qp, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+	if err != nil {
+		return 0, err
+	}
+	lSock, rSock := 1, 1
+	if worst {
+		qp.BindCore(0)
+		lSock, rSock = 0, 0
+	}
+	la, _ := cl.Machine(0).Alloc(topoSock(lSock), 1<<16, 0)
+	ra, _ := cl.Machine(1).Alloc(topoSock(rSock), 1<<16, 0)
+	mrA, mrB := ctxA.MustRegisterMR(la), ctxB.MustRegisterMR(ra)
+	wr := &verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        []verbs.SGE{{Addr: mrA.Addr(), Length: 32, MR: mrA}},
+		RemoteAddr: mrB.Addr(),
+		RemoteKey:  mrB.RKey(),
+	}
+	if _, err := qp.PostSend(0, wr); err != nil {
+		return 0, err
+	}
+	lat := sim.RunOnce(func(t sim.Time) sim.Time {
+		c, err := qp.PostSend(t, wr)
+		if err != nil {
+			panic(err)
+		}
+		return c.Done
+	}, sim.Millisecond)
+	return lat.Micros(), nil
+}

@@ -1,0 +1,173 @@
+// Package bench contains one driver per table and figure of the paper's
+// evaluation. Each driver rebuilds the experiment on a fresh simulated
+// cluster and returns the series/rows the paper plots, so
+//
+//	rdmabench -exp fig3
+//
+// regenerates Figure 3 as an aligned text table.
+//
+// Every driver accepts a Scale in (0, 1]: 1 reproduces the full sweep,
+// smaller values shrink horizons and input sizes proportionally (used by the
+// test suite and the testing.B wrappers to stay fast).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/stats"
+	"rdmasem/internal/verbs"
+)
+
+// Report is the output of one experiment driver.
+type Report struct {
+	ID      string
+	Figures []*stats.Figure
+	Tables  []*stats.Table
+	Notes   []string
+}
+
+// Render prints all figures and tables of the report as aligned text.
+func (r *Report) Render(w io.Writer) { r.RenderFormat(w, "text") }
+
+// RenderFormat prints the report in the given format: "text" (aligned
+// columns), "csv", or "chart" (ASCII scatter for a quick shape check).
+func (r *Report) RenderFormat(w io.Writer, format string) {
+	fmt.Fprintf(w, "== %s ==\n", r.ID)
+	for _, f := range r.Figures {
+		switch format {
+		case "csv":
+			f.RenderCSV(w)
+		case "chart":
+			f.RenderChart(w, 12)
+		default:
+			f.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, t := range r.Tables {
+		if format == "csv" {
+			t.RenderCSV(w)
+		} else {
+			t.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+	if format != "csv" {
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+}
+
+// Driver runs one experiment at the given scale.
+type Driver func(scale float64) (*Report, error)
+
+var registry = map[string]Driver{}
+
+// register adds a driver under its experiment id.
+func register(id string, d Driver) {
+	registry[id] = d
+}
+
+// Run executes the named experiment.
+func Run(id string, scale float64) (*Report, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (see List)", id)
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("bench: scale must be in (0,1], got %v", scale)
+	}
+	return d(scale)
+}
+
+// List returns the registered experiment ids in order.
+func List() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// horizon scales the default measurement window.
+func horizon(scale float64, full sim.Duration) sim.Duration {
+	h := sim.Duration(float64(full) * scale)
+	if h < 100*sim.Microsecond {
+		h = 100 * sim.Microsecond
+	}
+	return h
+}
+
+// pairEnv is the one-to-one microbenchmark environment (Figures 1, 3-6, 8):
+// two machines, an RC QP between the NIC-socket ports, and large MRs.
+type pairEnv struct {
+	cl       *cluster.Cluster
+	ctxA     *verbs.Context
+	ctxB     *verbs.Context
+	qpA      *verbs.QP
+	mrA, mrB *verbs.MR
+	staging  *verbs.MR
+}
+
+// newPair builds the environment with the given registered-region size on
+// the remote side.
+func newPair(remoteBytes int) (*pairEnv, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctxA := verbs.NewContext(cl.Machine(0))
+	ctxB := verbs.NewContext(cl.Machine(1))
+	qpA, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+	if err != nil {
+		return nil, err
+	}
+	// Spans beyond 8 MB use sparse backing: the full virtual extent drives
+	// the translation cache, the bytes alias a 1 MB physical buffer.
+	alloc := func(m int, size int) (*mem.Region, error) {
+		if size > 8<<20 {
+			return cl.Machine(m).Space().AllocSparse(1, size, 1<<20)
+		}
+		return cl.Machine(m).Alloc(1, size, 0)
+	}
+	localBytes := 1 << 22
+	if remoteBytes > localBytes {
+		localBytes = remoteBytes
+	}
+	ra, err := alloc(0, localBytes)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := alloc(1, remoteBytes)
+	if err != nil {
+		return nil, err
+	}
+	st, err := cl.Machine(0).Alloc(1, 1<<20, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &pairEnv{
+		cl:      cl,
+		ctxA:    ctxA,
+		ctxB:    ctxB,
+		qpA:     qpA,
+		mrA:     ctxA.MustRegisterMR(ra),
+		mrB:     ctxB.MustRegisterMR(rb),
+		staging: ctxA.MustRegisterMR(st),
+	}, nil
+}
+
+// measure runs a one-client closed loop over the op and returns the result.
+func measure(op sim.Op, window int, postCost sim.Duration, h sim.Duration) sim.Result {
+	client := &sim.Client{Op: op, PostCost: postCost, Window: window}
+	return sim.RunClosedLoop([]*sim.Client{client}, h)
+}

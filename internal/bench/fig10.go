@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/core"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/stats"
+	"rdmasem/internal/topo"
+	"rdmasem/internal/verbs"
+)
+
+func init() {
+	register("fig10a", Fig10aSpinlock)
+	register("fig10b", Fig10bSequencer)
+}
+
+// lockCluster builds n client machines plus one home machine for the lock
+// word / counter / RPC server.
+type lockCluster struct {
+	cl     *cluster.Cluster
+	home   *verbs.Context
+	homeMR *verbs.MR
+	ctxs   []*verbs.Context
+	qps    []*verbs.QP
+	scrs   []*verbs.MR
+}
+
+func newLockCluster(n int) (*lockCluster, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = n + 1
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lc := &lockCluster{cl: cl, home: verbs.NewContext(cl.Machine(0))}
+	hm, err := cl.Machine(0).Alloc(1, 4096, 0)
+	if err != nil {
+		return nil, err
+	}
+	lc.homeMR = lc.home.MustRegisterMR(hm)
+	for i := 0; i < n; i++ {
+		ctx := verbs.NewContext(cl.Machine(i + 1))
+		qp, _, err := verbs.Connect(ctx, 1, lc.home, 1, verbs.RC)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := cl.Machine(i+1).Alloc(1, 4096, 0)
+		if err != nil {
+			return nil, err
+		}
+		lc.ctxs = append(lc.ctxs, ctx)
+		lc.qps = append(lc.qps, qp)
+		lc.scrs = append(lc.scrs, ctx.MustRegisterMR(sr))
+	}
+	return lc, nil
+}
+
+// remoteLockMOPS measures aggregate lock+unlock cycles per second.
+func remoteLockMOPS(n int, backoff *core.BackoffConfig, h sim.Duration) (float64, error) {
+	lc, err := newLockCluster(n)
+	if err != nil {
+		return 0, err
+	}
+	state := core.NewLockState()
+	var clients []*sim.Client
+	for i := 0; i < n; i++ {
+		lock, err := core.NewRemoteLock(state, lc.qps[i],
+			verbs.SGE{Addr: lc.scrs[i].Addr(), Length: 8, MR: lc.scrs[i]},
+			lc.homeMR, lc.homeMR.Addr(), i, backoff)
+		if err != nil {
+			return 0, err
+		}
+		clients = append(clients, &sim.Client{
+			PostCost: 150,
+			Window:   1,
+			Op: func(post sim.Time) sim.Time {
+				at, err := lock.Acquire(post)
+				if err != nil {
+					panic(err)
+				}
+				rt, err := lock.Release(at)
+				if err != nil {
+					panic(err)
+				}
+				return rt
+			},
+		})
+	}
+	return sim.RunClosedLoop(clients, h).MOPS(), nil
+}
+
+// localLockMOPS measures the GCC-builtin local spinlock baseline.
+func localLockMOPS(n int, h sim.Duration) float64 {
+	tp := topo.DefaultParams()
+	state := core.NewLockState()
+	line := core.NewLocalLockLine()
+	var clients []*sim.Client
+	for i := 0; i < n; i++ {
+		lock := core.NewLocalLock(state, line, tp, i, nil)
+		clients = append(clients, &sim.Client{
+			PostCost: 4,
+			Window:   1,
+			Op: func(post sim.Time) sim.Time {
+				at := lock.Acquire(post)
+				return lock.Release(at)
+			},
+		})
+	}
+	return sim.RunClosedLoop(clients, h).MOPS()
+}
+
+// rpcLockMOPS measures the channel-semantic lock baseline.
+func rpcLockMOPS(n int, h sim.Duration) (float64, error) {
+	lc, err := newLockCluster(n)
+	if err != nil {
+		return 0, err
+	}
+	srv, err := core.NewRPCServer(lc.home, lc.homeMR, 750)
+	if err != nil {
+		return 0, err
+	}
+	state := core.NewLockState()
+	var clients []*sim.Client
+	for i := 0; i < n; i++ {
+		rc, err := srv.NewRPCClient(lc.ctxs[i], 1, 1, lc.scrs[i])
+		if err != nil {
+			return 0, err
+		}
+		lock := core.NewRPCLock(state, rc, i)
+		clients = append(clients, &sim.Client{
+			PostCost: 150,
+			Window:   1,
+			Op: func(post sim.Time) sim.Time {
+				at, err := lock.Acquire(post)
+				if err != nil {
+					panic(err)
+				}
+				rt, err := lock.Release(at)
+				if err != nil {
+					panic(err)
+				}
+				return rt
+			},
+		})
+	}
+	return sim.RunClosedLoop(clients, h).MOPS(), nil
+}
+
+// Fig10aSpinlock reproduces Figure 10(a): local vs remote vs RPC spinlocks
+// over thread count, plus the exponential back-off variant of the remote
+// lock.
+func Fig10aSpinlock(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Fig 10a: spinlock throughput (lock+unlock cycles)", "threads", "throughput (MOPS)")
+	h := horizon(scale, 10*sim.Millisecond)
+	bo := core.DefaultBackoff()
+	threads := []int{1, 2, 4, 6, 8, 10, 12, 14}
+	for _, n := range threads {
+		local := localLockMOPS(n, h)
+		remote, err := remoteLockMOPS(n, nil, h)
+		if err != nil {
+			return nil, err
+		}
+		remoteBO, err := remoteLockMOPS(n, &bo, h)
+		if err != nil {
+			return nil, err
+		}
+		rpc, err := rpcLockMOPS(n, h)
+		if err != nil {
+			return nil, err
+		}
+		fig.Line("Local").Add(float64(n), local)
+		fig.Line("Remote").Add(float64(n), remote)
+		fig.Line("Remote(backoff)").Add(float64(n), remoteBO)
+		fig.Line("RPC-based").Add(float64(n), rpc)
+	}
+	return &Report{
+		ID:      "fig10a",
+		Figures: []*stats.Figure{fig},
+		Notes: []string{
+			"paper: local collapses to ~1.2% of its 1-thread peak; remote converges (~0.31-0.36 MOPS at 8 threads) retaining ~14%;",
+			"remote beats RPC by 1.54-2.80x; with back-off the remote lock leads local and RPC at 14 threads",
+		},
+	}, nil
+}
+
+// Fig10bSequencer reproduces Figure 10(b): local vs remote vs RPC
+// sequencers over thread count.
+func Fig10bSequencer(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Fig 10b: sequencer throughput", "threads", "throughput (MOPS)")
+	h := horizon(scale, 10*sim.Millisecond)
+	threads := []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	for _, n := range threads {
+		// Local: all threads FAA one cache line.
+		tp := topo.DefaultParams()
+		seqLocal := core.NewLocalSequencer(tp)
+		var locals []*sim.Client
+		for i := 0; i < n; i++ {
+			i := i
+			seqLocal.Register()
+			locals = append(locals, &sim.Client{
+				PostCost: 4,
+				Window:   1,
+				Op: func(post sim.Time) sim.Time {
+					_, t := seqLocal.Next(post, i)
+					return t
+				},
+			})
+		}
+		fig.Line("Local Sequencer").Add(float64(n), sim.RunClosedLoop(locals, h).MOPS())
+
+		// Remote: FAA against the home machine.
+		lc, err := newLockCluster(n)
+		if err != nil {
+			return nil, err
+		}
+		var remotes []*sim.Client
+		for i := 0; i < n; i++ {
+			seq, err := core.NewRemoteSequencer(lc.qps[i],
+				verbs.SGE{Addr: lc.scrs[i].Addr(), Length: 8, MR: lc.scrs[i]},
+				lc.homeMR, lc.homeMR.Addr())
+			if err != nil {
+				return nil, err
+			}
+			remotes = append(remotes, &sim.Client{
+				PostCost: 150,
+				Window:   4,
+				Op: func(post sim.Time) sim.Time {
+					_, t, err := seq.Next(post, 1)
+					if err != nil {
+						panic(err)
+					}
+					return t
+				},
+			})
+		}
+		fig.Line("Remote Sequencer").Add(float64(n), sim.RunClosedLoop(remotes, h).MOPS())
+
+		// RPC: counter behind a server.
+		lc2, err := newLockCluster(n)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := core.NewRPCServer(lc2.home, lc2.homeMR, 750)
+		if err != nil {
+			return nil, err
+		}
+		var counter uint64
+		var rpcs []*sim.Client
+		for i := 0; i < n; i++ {
+			rc, err := srv.NewRPCClient(lc2.ctxs[i], 1, 1, lc2.scrs[i])
+			if err != nil {
+				return nil, err
+			}
+			seq := core.NewRPCSequencer(rc, &counter)
+			rpcs = append(rpcs, &sim.Client{
+				PostCost: 150,
+				Window:   1,
+				Op: func(post sim.Time) sim.Time {
+					_, t, err := seq.Next(post)
+					if err != nil {
+						panic(err)
+					}
+					return t
+				},
+			})
+		}
+		fig.Line("RPC Sequencer").Add(float64(n), sim.RunClosedLoop(rpcs, h).MOPS())
+
+		// UD RPC: the Herd/FaSST-style datagram variant Section III-E cites
+		// as the faster two-sided implementation.
+		lc3, err := newLockCluster(n)
+		if err != nil {
+			return nil, err
+		}
+		udSrv, err := core.NewUDRPCServer(lc3.home, 1, lc3.homeMR, 750)
+		if err != nil {
+			return nil, err
+		}
+		var udCounter uint64
+		var uds []*sim.Client
+		for i := 0; i < n; i++ {
+			uc, err := udSrv.NewUDRPCClient(lc3.ctxs[i], 1, lc3.scrs[i])
+			if err != nil {
+				return nil, err
+			}
+			seq := core.NewRPCSequencer(uc, &udCounter)
+			uds = append(uds, &sim.Client{
+				PostCost: 150,
+				Window:   1,
+				Op: func(post sim.Time) sim.Time {
+					_, t, err := seq.Next(post)
+					if err != nil {
+						panic(err)
+					}
+					return t
+				},
+			})
+		}
+		fig.Line("UD RPC Sequencer").Add(float64(n), sim.RunClosedLoop(uds, h).MOPS())
+	}
+	return &Report{
+		ID:      "fig10b",
+		Figures: []*stats.Figure{fig},
+		Notes: []string{
+			"paper: remote sequencer stable ~2.6 MOPS beyond 5 threads, 1.87-2.25x the RPC sequencer; local starts ~100 MOPS and degrades under contention",
+			"extension: the UD RPC series is the Kalia et al. datagram design III-E credits with outrunning connected-transport RPC",
+		},
+	}, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"rdmasem/internal/apps/shuffle"
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/core"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/stats"
+	"rdmasem/internal/workload"
+)
+
+func init() { register("fig15", Fig15Shuffle) }
+
+// shuffleMOPS measures aggregate entries/s of a shuffle deployment.
+func shuffleMOPS(executors, batch int, strategy core.Strategy, numa bool, h sim.Duration) (float64, error) {
+	cl, err := cluster.New(cluster.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	cfg := shuffle.DefaultConfig()
+	cfg.Executors = executors
+	cfg.Batch = batch
+	cfg.Strategy = strategy
+	cfg.NUMA = numa
+	s, err := shuffle.New(cl, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var clients []*sim.Client
+	for _, ex := range s.Executors() {
+		ex := ex
+		u, err := workload.NewUniform(1<<30, int64(ex.ID()*7+1))
+		if err != nil {
+			return 0, err
+		}
+		st := workload.NewStream(u, cfg.ValueSize)
+		clients = append(clients, &sim.Client{
+			PostCost: 50,
+			Window:   4,
+			Op: func(post sim.Time) sim.Time {
+				d, err := ex.Process(post, st.Next())
+				if err != nil {
+					panic(err)
+				}
+				return d
+			},
+		})
+	}
+	return sim.RunClosedLoop(clients, h).MOPS(), nil
+}
+
+// Fig15Shuffle reproduces Figure 15: shuffle throughput over executor count
+// for the basic path and the SGL/SP batched variants.
+func Fig15Shuffle(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Fig 15: distributed shuffle throughput", "executors", "throughput (MOPS, entries)")
+	h := horizon(scale, 2*sim.Millisecond)
+	for n := 2; n <= 16; n += 2 {
+		basic, err := shuffleMOPS(n, 1, core.SGL, true, h)
+		if err != nil {
+			return nil, err
+		}
+		fig.Line("Basic Shuffle").Add(float64(n), basic)
+		for _, batch := range []int{4, 16} {
+			sgl, err := shuffleMOPS(n, batch, core.SGL, true, h)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := shuffleMOPS(n, batch, core.SP, true, h)
+			if err != nil {
+				return nil, err
+			}
+			fig.Line(sglLabel("SGL", batch)).Add(float64(n), sgl)
+			fig.Line(sglLabel("SP", batch)).Add(float64(n), sp)
+		}
+	}
+	return &Report{
+		ID:      "fig15",
+		Figures: []*stats.Figure{fig},
+		Notes: []string{
+			"paper: at 16 executors and batch 16, SGL/SP reach 4.8x/5.8x the basic shuffle",
+		},
+	}, nil
+}
+
+func sglLabel(prefix string, batch int) string {
+	if batch == 4 {
+		return "+" + prefix + "(Batch=4)"
+	}
+	return "+" + prefix + "(Batch=16)"
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"rdmasem/internal/apps/dlog"
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/stats"
+	"rdmasem/internal/topo"
+)
+
+func init() { register("fig19", Fig19DistributedLog) }
+
+// dlogMOPS measures aggregate appended records per second.
+func dlogMOPS(engines, batch int, numa bool, h sim.Duration) (float64, error) {
+	cl, err := cluster.New(cluster.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	cfg := dlog.DefaultConfig()
+	cfg.Batch = batch
+	cfg.NUMA = numa
+	// 64MB holds the deepest sweep's records (~46 MOPS x 5ms x 64B x 2).
+	cfg.LogBytes = 64 << 20
+	l, err := dlog.NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		return 0, err
+	}
+	var clients []*sim.Client
+	for i := 0; i < engines; i++ {
+		e, err := dlog.NewEngine(i, cl.Machine(1+i%7), topo.SocketID((i/7)%2), l)
+		if err != nil {
+			return 0, err
+		}
+		clients = append(clients, &sim.Client{
+			PostCost: 150,
+			Window:   2,
+			Op: func(post sim.Time) sim.Time {
+				_, done, err := e.AppendBatch(post)
+				if err != nil {
+					panic(err)
+				}
+				return done
+			},
+		})
+	}
+	res := sim.RunClosedLoop(clients, h)
+	return float64(res.Completed) * float64(batch) / h.Seconds() / 1e6, nil
+}
+
+// Fig19DistributedLog reproduces Figure 19: appended records per second over
+// the batch size for 4/7/14 transaction engines, with and without NUMA
+// awareness.
+func Fig19DistributedLog(scale float64) (*Report, error) {
+	fig := stats.NewFigure("Fig 19: distributed log throughput", "batch", "throughput (MOPS, records)")
+	h := horizon(scale, 5*sim.Millisecond)
+	for _, engines := range []int{4, 7, 14} {
+		for _, numa := range []bool{false, true} {
+			label := label19(engines, numa)
+			for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+				m, err := dlogMOPS(engines, batch, numa, h)
+				if err != nil {
+					return nil, err
+				}
+				fig.Line(label).Add(float64(batch), m)
+			}
+		}
+	}
+	return &Report{
+		ID:      "fig19",
+		Figures: []*stats.Figure{fig},
+		Notes: []string{
+			"paper: 9.1x gain from batch 32 vs no batching at 7 engines; NUMA awareness lifts 14 engines from 15.5 to 17.7 MOPS (~14%)",
+		},
+	}, nil
+}
+
+func label19(engines int, numa bool) string {
+	s := ""
+	switch engines {
+	case 4:
+		s = "4 TX engines"
+	case 7:
+		s = "7 TX engines"
+	default:
+		s = "14 TX engines"
+	}
+	if !numa {
+		s += " (*)"
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"rdmasem/internal/core"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/stats"
+)
+
+func init() { register("table1", Table01StrategyComparison) }
+
+// Table01StrategyComparison reproduces Table I, deriving the performance and
+// scalability verdicts from measurements instead of asserting them:
+//
+//   - performance: absolute entry throughput at batch 16, 32 B;
+//   - batch scalability: gain from batch 1 to 32;
+//   - thread scalability: per-thread retention from 1 to 8 threads;
+//   - size range: the payload at which throughput halves from its small-
+//     payload value (SGL's "good in a small range");
+//   - programmability is inherent to the mechanism and quoted from the
+//     paper.
+func Table01StrategyComparison(scale float64) (*Report, error) {
+	h := horizon(scale, 5*sim.Millisecond)
+	tb := stats.NewTable("Table I: comparisons between three vector IO mechanisms (measured)")
+	tb.Row("Type", "Programmability", "Perf (MOPS@32Bx16)", "Batch 1->32", "Per-thread 1->8", "Half-rate payload")
+
+	progability := map[core.Strategy]string{
+		core.Doorbell: "Good (rewrite a few lines)",
+		core.SP:       "Poor (per-app gather code)",
+		core.SGL:      "Moderate (one-sided gather only)",
+	}
+	for _, s := range []core.Strategy{core.Doorbell, core.SP, core.SGL} {
+		perf, err := batchThroughput(s, 32, 16, 1, h)
+		if err != nil {
+			return nil, err
+		}
+		b1, err := batchThroughput(s, 32, 1, 1, h)
+		if err != nil {
+			return nil, err
+		}
+		b32, err := batchThroughput(s, 32, 32, 1, h)
+		if err != nil {
+			return nil, err
+		}
+		t1, err := batchThroughput(s, 32, 4, 1, h)
+		if err != nil {
+			return nil, err
+		}
+		t8, err := batchThroughput(s, 32, 4, 8, h)
+		if err != nil {
+			return nil, err
+		}
+		// Find where throughput halves vs the 32 B value.
+		half := "n/a"
+		for _, size := range []int{64, 128, 256, 512, 1024, 2048} {
+			m, err := batchThroughput(s, size, 16, 1, h)
+			if err != nil {
+				return nil, err
+			}
+			if m < perf/2 {
+				half = fmt.Sprintf("%dB", size)
+				break
+			}
+		}
+		tb.Row(s.String(),
+			progability[s],
+			fmt.Sprintf("%.1f", perf),
+			fmt.Sprintf("%.1fx", b32/b1),
+			fmt.Sprintf("%.0f%%", t8/8/t1*100),
+			half)
+	}
+	return &Report{
+		ID:     "table1",
+		Tables: []*stats.Table{tb},
+		Notes: []string{
+			"paper Table I: Doorbell good programmability / low perf / poor scalability; SP poor programmability / high perf / good scalability; SGL moderate / high / good in a small range",
+		},
+	}, nil
+}

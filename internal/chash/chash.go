@@ -1,0 +1,109 @@
+// Package chash is a sharded concurrent hash map, the stand-in for the Intel
+// TBB concurrent_hash_map the paper's distributed join uses in its
+// build-probe phase. It is safe for concurrent use by real goroutines (the
+// harness parallelizes independent partitions across host cores).
+package chash
+
+import (
+	"sync"
+)
+
+const defaultShards = 64
+
+// Map is a concurrent uint64 -> []uint64 multimap (a join build side may
+// hold several payloads per key).
+type Map struct {
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[uint64][]uint64
+}
+
+// New creates a map with the given shard count rounded up to a power of two
+// (0 uses the default).
+func New(shards int) *Map {
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Map{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[uint64][]uint64)
+	}
+	return m
+}
+
+func (m *Map) shardFor(key uint64) *shard {
+	h := key * 0x9E3779B97F4A7C15
+	return &m.shards[(h>>32)&m.mask]
+}
+
+// Insert appends a payload under key.
+func (m *Map) Insert(key, payload uint64) {
+	s := m.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = append(s.m[key], payload)
+	s.mu.Unlock()
+}
+
+// Get returns the payloads under key (nil if absent). The returned slice
+// must not be mutated.
+func (m *Map) Get(key uint64) []uint64 {
+	s := m.shardFor(key)
+	s.mu.RLock()
+	v := s.m[key]
+	s.mu.RUnlock()
+	return v
+}
+
+// Probe reports how many build-side payloads match key (the inner loop of
+// the join's probe phase).
+func (m *Map) Probe(key uint64) int { return len(m.Get(key)) }
+
+// Len returns the total number of distinct keys.
+func (m *Map) Len() int {
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Entries returns the total number of stored payloads.
+func (m *Map) Entries() int {
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, v := range s.m {
+			total += len(v)
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Range calls fn for every (key, payloads) pair; fn must not call back into
+// the map. Iteration order is unspecified.
+func (m *Map) Range(fn func(key uint64, payloads []uint64) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !fn(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}

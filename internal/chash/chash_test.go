@@ -1,0 +1,137 @@
+package chash
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	m := New(0)
+	m.Insert(1, 100)
+	m.Insert(1, 200)
+	m.Insert(2, 300)
+	if got := m.Get(1); len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("Get(1)=%v", got)
+	}
+	if got := m.Get(2); len(got) != 1 || got[0] != 300 {
+		t.Fatalf("Get(2)=%v", got)
+	}
+	if m.Get(3) != nil {
+		t.Fatal("missing key should be nil")
+	}
+	if m.Probe(1) != 2 || m.Probe(3) != 0 {
+		t.Fatal("Probe miscounts")
+	}
+	if m.Len() != 2 || m.Entries() != 3 {
+		t.Fatalf("Len=%d Entries=%d", m.Len(), m.Entries())
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	m := New(5)
+	if len(m.shards) != 8 {
+		t.Fatalf("shards=%d, want 8", len(m.shards))
+	}
+	m = New(0)
+	if len(m.shards) != defaultShards {
+		t.Fatalf("default shards=%d", len(m.shards))
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New(4)
+	for k := uint64(0); k < 100; k++ {
+		m.Insert(k, k*10)
+	}
+	seen := map[uint64]bool{}
+	m.Range(func(k uint64, v []uint64) bool {
+		seen[k] = true
+		if len(v) != 1 || v[0] != k*10 {
+			t.Fatalf("key %d has %v", k, v)
+		}
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("ranged %d keys", len(seen))
+	}
+	// Early termination.
+	n := 0
+	m.Range(func(uint64, []uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentInsertsAreLinearizable(t *testing.T) {
+	m := New(16)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := uint64(i % 97) // heavy collisions across goroutines
+				m.Insert(key, uint64(g*perG+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Entries(); got != goroutines*perG {
+		t.Fatalf("entries=%d, want %d (lost updates)", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentReadersDontBlock(t *testing.T) {
+	m := New(16)
+	for k := uint64(0); k < 1000; k++ {
+		m.Insert(k, k)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := uint64(0); k < 1000; k++ {
+				if m.Probe(k) != 1 {
+					t.Error("probe miss under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: the map agrees with a reference map built from the same inserts.
+func TestAgainstReferenceProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		m := New(8)
+		ref := map[uint64][]uint64{}
+		for i, k := range keys {
+			k %= 32
+			m.Insert(k, uint64(i))
+			ref[k] = append(ref[k], uint64(i))
+		}
+		for k, want := range ref {
+			got := m.Get(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

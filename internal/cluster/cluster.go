@@ -1,0 +1,181 @@
+// Package cluster assembles machines — NUMA topology, memory space, RNIC —
+// and plugs their ports into a shared fabric. The default configuration is
+// the paper's testbed: eight dual-socket machines, one dual-port ConnectX-3
+// style NIC each, one 40 Gbps switch.
+package cluster
+
+import (
+	"fmt"
+
+	"rdmasem/internal/fabric"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/rnic"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/topo"
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	Machines     int
+	PerSocketMem uint64 // bytes of address space per socket
+	Topo         topo.Params
+	NIC          rnic.Params
+	Fabric       fabric.Params
+}
+
+// DefaultConfig returns the paper's eight-machine testbed. Each socket gets
+// 48 GB of address space (96 GB per machine), backed lazily.
+func DefaultConfig() Config {
+	return Config{
+		Machines:     8,
+		PerSocketMem: 48 << 30,
+		Topo:         topo.DefaultParams(),
+		NIC:          rnic.DefaultParams(),
+		Fabric:       fabric.DefaultParams(),
+	}
+}
+
+// Machine is one simulated host.
+type Machine struct {
+	id        int
+	topology  *topo.Topology
+	space     *mem.Space
+	nic       *rnic.NIC
+	qpi       *sim.Pipe
+	fab       *fabric.Fabric
+	endpoints []*fabric.Endpoint // one per NIC port
+}
+
+// Cluster is a set of machines sharing one switch.
+type Cluster struct {
+	cfg      Config
+	machines []*Machine
+	fab      *fabric.Fabric
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("cluster: need at least one machine, got %d", cfg.Machines)
+	}
+	fab, err := fabric.New(cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, fab: fab}
+	for i := 0; i < cfg.Machines; i++ {
+		t, err := topo.New(cfg.Topo)
+		if err != nil {
+			return nil, err
+		}
+		space, err := mem.NewSpace(t.Sockets(), cfg.PerSocketMem)
+		if err != nil {
+			return nil, err
+		}
+		nicName := fmt.Sprintf("m%d/nic", i)
+		nic, err := rnic.New(nicName, cfg.NIC)
+		if err != nil {
+			return nil, err
+		}
+		m := &Machine{
+			id:       i,
+			topology: t,
+			space:    space,
+			nic:      nic,
+			qpi:      sim.NewPipe(fmt.Sprintf("m%d/qpi", i), cfg.Topo.QPIBandwidth, 0),
+			fab:      fab,
+		}
+		for p := 0; p < nic.Ports(); p++ {
+			m.endpoints = append(m.endpoints, fab.Register(fmt.Sprintf("m%d/p%d", i, p)))
+		}
+		c.machines = append(c.machines, m)
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machine returns machine i.
+func (c *Cluster) Machine(i int) *Machine {
+	if i < 0 || i >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: no machine %d", i))
+	}
+	return c.machines[i]
+}
+
+// Machines returns all machines in id order.
+func (c *Cluster) Machines() []*Machine {
+	out := make([]*Machine, len(c.machines))
+	copy(out, c.machines)
+	return out
+}
+
+// Fabric returns the shared switch fabric.
+func (c *Cluster) Fabric() *fabric.Fabric { return c.fab }
+
+// Reset clears all queues, caches and link state across the cluster, keeping
+// memory contents and registrations (used between measurement phases).
+func (c *Cluster) Reset() {
+	c.fab.Reset()
+	for _, m := range c.machines {
+		m.nic.Reset()
+		m.qpi.Reset()
+	}
+}
+
+// ID returns the machine's index within its cluster.
+func (m *Machine) ID() int { return m.id }
+
+// Topology returns the machine's NUMA layout.
+func (m *Machine) Topology() *topo.Topology { return m.topology }
+
+// Space returns the machine's memory.
+func (m *Machine) Space() *mem.Space { return m.space }
+
+// NIC returns the machine's RNIC.
+func (m *Machine) NIC() *rnic.NIC { return m.nic }
+
+// QPI returns the machine's inter-socket interconnect pipe.
+func (m *Machine) QPI() *sim.Pipe { return m.qpi }
+
+// Fabric returns the switch the machine's ports are plugged into.
+func (m *Machine) Fabric() *fabric.Fabric { return m.fab }
+
+// Endpoint returns the fabric endpoint of NIC port p.
+func (m *Machine) Endpoint(p int) *fabric.Endpoint {
+	if p < 0 || p >= len(m.endpoints) {
+		panic(fmt.Sprintf("cluster: machine %d has no port %d", m.id, p))
+	}
+	return m.endpoints[p]
+}
+
+// PortSocket returns the socket a NIC port is affiliated with. Ports are
+// bound round-robin to sockets, mirroring the paper's Figure 9 where each
+// port of the dual-port NIC serves a distinct socket.
+func (m *Machine) PortSocket(p int) topo.SocketID {
+	return topo.SocketID(p % m.topology.Sockets())
+}
+
+// SocketPort returns the NIC port affiliated with the given socket (the
+// inverse of PortSocket for the default dual-socket/dual-port shape).
+func (m *Machine) SocketPort(s topo.SocketID) int {
+	return int(s) % m.nic.Ports()
+}
+
+// Alloc reserves memory on the given socket (page aligned by default).
+func (m *Machine) Alloc(s topo.SocketID, size int, align uint64) (*mem.Region, error) {
+	return m.space.Alloc(s, size, align)
+}
+
+// MustAlloc is Alloc that panics on failure, for test and benchmark setup.
+func (m *Machine) MustAlloc(s topo.SocketID, size int, align uint64) *mem.Region {
+	r, err := m.Alloc(s, size, align)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

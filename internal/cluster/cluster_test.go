@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+
+	"rdmasem/internal/sim"
+)
+
+func TestDefaultConfigBuildsPaperTestbed(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 8 {
+		t.Fatalf("machines=%d, want 8", c.Size())
+	}
+	m := c.Machine(0)
+	if m.Topology().Sockets() != 2 {
+		t.Fatalf("sockets=%d, want 2", m.Topology().Sockets())
+	}
+	if m.NIC().Ports() != 2 {
+		t.Fatalf("ports=%d, want 2", m.NIC().Ports())
+	}
+	// 16 ports total on the switch.
+	if got := len(c.Fabric().Endpoints()); got != 16 {
+		t.Fatalf("endpoints=%d, want 16", got)
+	}
+}
+
+func TestNewRejectsEmptyCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewPropagatesBadSubConfigs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topo.Sockets = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected topo validation error")
+	}
+	cfg = DefaultConfig()
+	cfg.NIC.Ports = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected NIC validation error")
+	}
+	cfg = DefaultConfig()
+	cfg.Fabric.LinkBandwidth = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected fabric validation error")
+	}
+	cfg = DefaultConfig()
+	cfg.PerSocketMem = 17 // not page aligned
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected memory validation error")
+	}
+}
+
+func TestPortSocketBinding(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Machine(0)
+	if m.PortSocket(0) != 0 || m.PortSocket(1) != 1 {
+		t.Fatal("ports must bind round-robin to sockets (Fig 9)")
+	}
+	if m.SocketPort(0) != 0 || m.SocketPort(1) != 1 {
+		t.Fatal("SocketPort must invert PortSocket")
+	}
+}
+
+func TestMachineAccessorsAndPanics(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machine(3).ID() != 3 {
+		t.Fatal("machine id mismatch")
+	}
+	if len(c.Machines()) != 8 {
+		t.Fatal("Machines() length")
+	}
+	if c.Machine(0).Fabric() != c.Fabric() {
+		t.Fatal("machine must reference the shared fabric")
+	}
+	for _, fn := range []func(){
+		func() { c.Machine(99) },
+		func() { c.Machine(0).Endpoint(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAllocRoutesToSocket(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Machine(1)
+	r0 := m.MustAlloc(0, 4096, 0)
+	r1 := m.MustAlloc(1, 4096, 0)
+	if r0.Socket() != 0 || r1.Socket() != 1 {
+		t.Fatal("allocation socket mismatch")
+	}
+	if _, err := m.Alloc(9, 64, 0); err == nil {
+		t.Fatal("expected bad-socket error")
+	}
+}
+
+func TestClusterReset(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Machine(0)
+	m.NIC().Translate(4096, 64)
+	m.QPI().Delay(0, 1024)
+	c.Fabric().Send(0, m.Endpoint(0), c.Machine(1).Endpoint(0), 4096)
+	c.Reset()
+	if m.NIC().TranslationCache().Len() != 0 {
+		t.Fatal("NIC cache survived reset")
+	}
+	if m.QPI().Busy() != 0 {
+		t.Fatal("QPI survived reset")
+	}
+	if m.Endpoint(0).TxUtilization(sim.Second) != 0 {
+		t.Fatal("fabric link survived reset")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := Plan(Workload{}); err == nil {
+		t.Error("zero access size must fail")
+	}
+	if _, err := Plan(Workload{AccessBytes: 64, Skew: 1.5}); err == nil {
+		t.Error("out-of-range skew must fail")
+	}
+	if _, err := Plan(Workload{AccessBytes: 64, WriteFraction: -1}); err == nil {
+		t.Error("negative write fraction must fail")
+	}
+}
+
+// The four case studies, run through the advisor, should land on the
+// configurations the paper chose for them.
+func TestPlanMatchesPaperCaseStudies(t *testing.T) {
+	// Disaggregated hashtable: zipf writes, small values, hot set.
+	ht, err := Plan(Workload{
+		AccessBytes: 64, BatchableOps: 1, WriteFraction: 1,
+		Skew: 0.8, HotFootprint: 1 << 20, RandomAccess: true,
+		RegionBytes: 1 << 30, Threads: 14, CPUBudget: true,
+		Rewritable: true, NeedsAtomics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ht.Consolidate {
+		t.Error("hashtable plan should consolidate (IV-B)")
+	}
+	if !ht.UseAtomics || !ht.Backoff {
+		t.Error("hashtable plan should use atomics with backoff (IV-B)")
+	}
+	if !ht.WarnRandom {
+		t.Error("hashtable plan should warn about the random 1GB region")
+	}
+	if !ht.InlineWrites {
+		t.Error("64B writes should inline")
+	}
+
+	// Shuffle: CPU-light batched small entries -> SGL (IV-C).
+	sh, err := Plan(Workload{
+		AccessBytes: 64, BatchableOps: 16, WriteFraction: 1,
+		Threads: 16, CPUBudget: false, Rewritable: true, NeedsAtomics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Strategy != SGL {
+		t.Errorf("shuffle plan picked %v, paper uses SGL (IV-C)", sh.Strategy)
+	}
+	if sh.ExpectedBoost < 4 {
+		t.Errorf("shuffle plan boost %.1f, should reflect batching", sh.ExpectedBoost)
+	}
+
+	// Join partition phase behaves like the shuffle.
+	jn, err := Plan(Workload{
+		AccessBytes: 16, BatchableOps: 16, WriteFraction: 1,
+		Threads: 16, CPUBudget: false, Rewritable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jn.Strategy != SGL {
+		t.Errorf("join plan picked %v, paper uses SGL (IV-D)", jn.Strategy)
+	}
+
+	// Log: batched records, sequencer coordination.
+	lg, err := Plan(Workload{
+		AccessBytes: 64, BatchableOps: 32, WriteFraction: 1,
+		Threads: 14, CPUBudget: true, Rewritable: true, NeedsAtomics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.UseAtomics {
+		t.Error("log plan should reserve space with atomics (IV-E)")
+	}
+	if lg.Strategy == Doorbell {
+		t.Error("log plan should coalesce records, not just ring doorbells")
+	}
+}
+
+func TestPlanLegacyCodeGetsDoorbell(t *testing.T) {
+	r, err := Plan(Workload{AccessBytes: 64, BatchableOps: 8, Rewritable: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy != Doorbell {
+		t.Errorf("unrewritable code picked %v, Table I prescribes Doorbell", r.Strategy)
+	}
+	if r.ExpectedBoost > 2 {
+		t.Errorf("doorbell boost %.1f should be modest", r.ExpectedBoost)
+	}
+}
+
+func TestPlanStringReport(t *testing.T) {
+	r, err := Plan(Workload{
+		AccessBytes: 32, BatchableOps: 4, WriteFraction: 1,
+		Skew: 0.9, HotFootprint: 4096, NeedsAtomics: true, Threads: 8,
+		Rewritable: true, CPUBudget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{"strategy=", "consolidate=true", "backoff=true", "- "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if len(r.Reasons) < 3 {
+		t.Errorf("expected several reasons, got %d", len(r.Reasons))
+	}
+}
+
+func TestPlanNoConsolidationForReadHeavy(t *testing.T) {
+	r, err := Plan(Workload{
+		AccessBytes: 64, WriteFraction: 0.1, Skew: 0.9, HotFootprint: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Consolidate {
+		t.Error("read-heavy workloads should not consolidate writes")
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/verbs"
+)
+
+// Consolidator is the remote burst buffer of Section III-C: writes smaller
+// than the aligned block size are absorbed into a local shadow of the block
+// and posted to the RNIC only when (1) θ writes have accumulated for that
+// block, or (2) the block's lease expires. θ writes then cost one network
+// round trip instead of θ.
+//
+// The shadow also answers reads (read-your-writes), which the paper's hot
+// entry area relies on.
+type Consolidator struct {
+	qp         *verbs.QP
+	localMR    *verbs.MR // shadow storage, one blockSize slot per live block
+	remoteMR   *verbs.MR
+	remoteBase mem.Addr
+	blockSize  int
+	theta      int
+	lease      sim.Duration
+
+	blocks     map[int]*pendingBlock
+	slots      []int // free shadow slot indices
+	scratchOff int   // shadow offset of the read-miss scratch slot
+	preFlush   func(now sim.Time, block int) (sim.Time, error)
+	postFlush  func(now sim.Time, block int) (sim.Time, error)
+
+	flushes int64 // network writes issued
+	writes  int64 // logical writes absorbed
+}
+
+type pendingBlock struct {
+	index    int // block index within the remote region
+	slot     int // shadow slot
+	mods     int
+	deadline sim.Time
+	dirty    bool
+}
+
+// ConsolidatorConfig configures a Consolidator.
+type ConsolidatorConfig struct {
+	QP         *verbs.QP
+	LocalMR    *verbs.MR // must hold (MaxBlocks+1) * BlockSize bytes
+	RemoteMR   *verbs.MR
+	RemoteBase mem.Addr
+	BlockSize  int          // aligned block granularity (e.g. 1 KB or a 4 KB page)
+	Theta      int          // modifications per block before flushing
+	Lease      sim.Duration // flush deadline for a dirty block (0 = no lease)
+	MaxBlocks  int          // live (unflushed) blocks the shadow can hold
+
+	// PreFlush/PostFlush run around each block flush (the hashtable uses
+	// them to take and drop the block's remote spinlock). Each receives the
+	// current virtual time and the block index and returns the time its
+	// work finished.
+	PreFlush  func(now sim.Time, block int) (sim.Time, error)
+	PostFlush func(now sim.Time, block int) (sim.Time, error)
+}
+
+// NewConsolidator validates the configuration and builds the burst buffer.
+func NewConsolidator(cfg ConsolidatorConfig) (*Consolidator, error) {
+	if cfg.QP == nil || cfg.LocalMR == nil || cfg.RemoteMR == nil {
+		return nil, fmt.Errorf("core: consolidator needs qp and MRs")
+	}
+	if cfg.BlockSize <= 0 || cfg.Theta <= 0 || cfg.MaxBlocks <= 0 {
+		return nil, fmt.Errorf("core: block size, theta and max blocks must be positive")
+	}
+	// One extra slot serves as the read-miss scratch buffer.
+	if cfg.LocalMR.Region().Size() < cfg.BlockSize*(cfg.MaxBlocks+1) {
+		return nil, fmt.Errorf("core: shadow MR too small: %d < %d",
+			cfg.LocalMR.Region().Size(), cfg.BlockSize*(cfg.MaxBlocks+1))
+	}
+	c := &Consolidator{
+		qp:         cfg.QP,
+		localMR:    cfg.LocalMR,
+		remoteMR:   cfg.RemoteMR,
+		remoteBase: cfg.RemoteBase,
+		blockSize:  cfg.BlockSize,
+		theta:      cfg.Theta,
+		lease:      cfg.Lease,
+		blocks:     make(map[int]*pendingBlock),
+		scratchOff: cfg.BlockSize * cfg.MaxBlocks,
+		preFlush:   cfg.PreFlush,
+		postFlush:  cfg.PostFlush,
+	}
+	for i := cfg.MaxBlocks - 1; i >= 0; i-- {
+		c.slots = append(c.slots, i)
+	}
+	return c, nil
+}
+
+// Write absorbs one small write destined for remoteBase+off. It returns the
+// virtual time at which the write is durable from the caller's perspective:
+// immediately (absorbed into the shadow, CPU-cost only) or, when the write
+// triggers a flush, the completion of the flush's single RDMA write.
+func (c *Consolidator) Write(now sim.Time, off int, data []byte) (sim.Time, error) {
+	if off < 0 || len(data) == 0 || off%c.blockSize+len(data) > c.blockSize {
+		return 0, fmt.Errorf("core: write [%d,+%d) not within one %d-byte block", off, len(data), c.blockSize)
+	}
+	blk := off / c.blockSize
+	pb := c.blocks[blk]
+	if pb == nil {
+		if len(c.slots) == 0 {
+			// Evict the oldest-deadline block to make room.
+			victim := c.oldest()
+			if _, err := c.flushBlock(now, victim); err != nil {
+				return 0, err
+			}
+		}
+		slot := c.slots[len(c.slots)-1]
+		c.slots = c.slots[:len(c.slots)-1]
+		pb = &pendingBlock{index: blk, slot: slot, deadline: now + c.lease}
+		c.blocks[blk] = pb
+	}
+	shadow := c.shadow(pb)
+	copy(shadow[off%c.blockSize:], data)
+	pb.dirty = true
+	pb.mods++
+	c.writes++
+	// CPU copy into the shadow is the only cost of an absorbed write.
+	tp := c.qp.Context().Machine().Topology().Params
+	done := now + tp.MemcpyTime(len(data), false)
+	if pb.mods >= c.theta {
+		return c.flushBlock(done, pb)
+	}
+	return done, nil
+}
+
+// Read returns size bytes at off, honoring unflushed shadow contents.
+func (c *Consolidator) Read(now sim.Time, off, size int, out []byte) (sim.Time, error) {
+	if off < 0 || size <= 0 || off%c.blockSize+size > c.blockSize || len(out) < size {
+		return 0, fmt.Errorf("core: read [%d,+%d) not within one block", off, size)
+	}
+	blk := off / c.blockSize
+	if pb := c.blocks[blk]; pb != nil && pb.dirty {
+		copy(out[:size], c.shadow(pb)[off%c.blockSize:])
+		tp := c.qp.Context().Machine().Topology().Params
+		return now + tp.MemcpyTime(size, false), nil
+	}
+	// Miss: one RDMA read of the requested extent into the scratch slot.
+	scratchAddr := c.localMR.Addr() + mem.Addr(c.scratchOff)
+	comp, err := c.qp.PostSend(now, &verbs.SendWR{
+		Opcode:     verbs.OpRead,
+		SGL:        []verbs.SGE{{Addr: scratchAddr, Length: size, MR: c.localMR}},
+		RemoteAddr: c.remoteBase + mem.Addr(off),
+		RemoteKey:  c.remoteMR.RKey(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	copy(out[:size], c.localMR.Region().Bytes()[c.scratchOff:c.scratchOff+size])
+	return comp.Done, nil
+}
+
+// Tick flushes every block whose lease has expired by now, returning the
+// completion of the last flush (or now when nothing was due).
+func (c *Consolidator) Tick(now sim.Time) (sim.Time, error) {
+	if c.lease == 0 {
+		return now, nil
+	}
+	done := now
+	for _, pb := range c.snapshot() {
+		if pb.deadline <= now && pb.dirty {
+			d, err := c.flushBlock(now, pb)
+			if err != nil {
+				return 0, err
+			}
+			if d > done {
+				done = d
+			}
+		}
+	}
+	return done, nil
+}
+
+// Flush force-flushes every dirty block.
+func (c *Consolidator) Flush(now sim.Time) (sim.Time, error) {
+	done := now
+	for _, pb := range c.snapshot() {
+		d, err := c.flushBlock(now, pb)
+		if err != nil {
+			return 0, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// Stats reports absorbed writes vs issued network flushes; the ratio is the
+// consolidation factor Figure 8 sweeps.
+func (c *Consolidator) Stats() (writes, flushes int64) { return c.writes, c.flushes }
+
+func (c *Consolidator) snapshot() []*pendingBlock {
+	out := make([]*pendingBlock, 0, len(c.blocks))
+	for _, pb := range c.blocks {
+		out = append(out, pb)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].index > out[j].index; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (c *Consolidator) oldest() *pendingBlock {
+	var victim *pendingBlock
+	for _, pb := range c.snapshot() {
+		if victim == nil || pb.deadline < victim.deadline {
+			victim = pb
+		}
+	}
+	return victim
+}
+
+func (c *Consolidator) shadow(pb *pendingBlock) []byte {
+	base := pb.slot * c.blockSize
+	return c.localMR.Region().Bytes()[base : base+c.blockSize]
+}
+
+// flushBlock posts the single RDMA write covering the whole block and
+// retires it from the pending set.
+func (c *Consolidator) flushBlock(now sim.Time, pb *pendingBlock) (sim.Time, error) {
+	if c.preFlush != nil {
+		t, err := c.preFlush(now, pb.index)
+		if err != nil {
+			return 0, err
+		}
+		now = t
+	}
+	slotAddr := c.localMR.Addr() + mem.Addr(pb.slot*c.blockSize)
+	comp, err := c.qp.PostSend(now, &verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        []verbs.SGE{{Addr: slotAddr, Length: c.blockSize, MR: c.localMR}},
+		RemoteAddr: c.remoteBase + mem.Addr(pb.index*c.blockSize),
+		RemoteKey:  c.remoteMR.RKey(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.flushes++
+	delete(c.blocks, pb.index)
+	c.slots = append(c.slots, pb.slot)
+	done := comp.Done
+	if c.postFlush != nil {
+		t, err := c.postFlush(done, pb.index)
+		if err != nil {
+			return 0, err
+		}
+		done = t
+	}
+	return done, nil
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/verbs"
+)
+
+// env is the shared two-machine test harness.
+type env struct {
+	cl       *cluster.Cluster
+	ctxA     *verbs.Context
+	ctxB     *verbs.Context
+	qpA      *verbs.QP
+	mrA, mrB *verbs.MR
+	staging  *verbs.MR
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA := verbs.NewContext(cl.Machine(0))
+	ctxB := verbs.NewContext(cl.Machine(1))
+	qpA, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrA := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	mrB := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+	staging := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	return &env{cl: cl, ctxA: ctxA, ctxB: ctxB, qpA: qpA, mrA: mrA, mrB: mrB, staging: staging}
+}
+
+// frags fills n discontiguous fragments of the given size in mrA, each
+// filled with a distinct letter, and returns their descriptors.
+func frags(e *env, n, size int) []Fragment {
+	out := make([]Fragment, n)
+	b := e.mrA.Region().Bytes()
+	for i := 0; i < n; i++ {
+		off := i * 2 * size // every other slot: discontiguous
+		for j := 0; j < size; j++ {
+			b[off+j] = byte('a' + i%26)
+		}
+		out[i] = Fragment{Addr: e.mrA.Addr() + mem.Addr(off), Length: size}
+	}
+	return out
+}
+
+func wantBatch(n, size int) []byte {
+	out := make([]byte, 0, n*size)
+	for i := 0; i < n; i++ {
+		for j := 0; j < size; j++ {
+			out = append(out, byte('a'+i%26))
+		}
+	}
+	return out
+}
+
+func TestBatcherAllStrategiesMoveData(t *testing.T) {
+	for _, s := range []Strategy{SP, Doorbell, SGL} {
+		t.Run(s.String(), func(t *testing.T) {
+			e := newEnv(t)
+			b, err := NewBatcher(s, e.qpA, e.mrA, e.staging, e.mrB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := frags(e, 4, 32)
+			res, err := b.WriteBatch(0, fs, e.mrB.Addr()+64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.mrB.Region().Bytes()[64 : 64+128]
+			if !bytes.Equal(got, wantBatch(4, 32)) {
+				t.Fatalf("%s: remote bytes %q", s, got[:16])
+			}
+			if res.Done <= 0 || res.CPU <= 0 {
+				t.Fatalf("%s: suspicious result %+v", s, res)
+			}
+			wantReqs := 1
+			if s == Doorbell {
+				wantReqs = 4
+			}
+			if res.Requests != wantReqs {
+				t.Fatalf("%s: %d requests, want %d", s, res.Requests, wantReqs)
+			}
+		})
+	}
+}
+
+func TestBatcherSPCostsMoreCPUThanSGL(t *testing.T) {
+	e := newEnv(t)
+	sp, _ := NewBatcher(SP, e.qpA, e.mrA, e.staging, e.mrB)
+	sgl, _ := NewBatcher(SGL, e.qpA, e.mrA, nil, e.mrB)
+	fs := frags(e, 16, 256)
+	rsp, err := sp.WriteBatch(0, fs, e.mrB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsgl, err := sgl.WriteBatch(rsp.Done, fs, e.mrB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp.CPU <= rsgl.CPU {
+		t.Fatalf("SP CPU (%v) must exceed SGL CPU (%v): Figure 18", rsp.CPU, rsgl.CPU)
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	e := newEnv(t)
+	if _, err := NewBatcher(SP, e.qpA, e.mrA, nil, e.mrB); err == nil {
+		t.Error("SP without staging must fail")
+	}
+	if _, err := NewBatcher(SGL, nil, e.mrA, nil, e.mrB); err == nil {
+		t.Error("nil QP must fail")
+	}
+	b, _ := NewBatcher(SGL, e.qpA, e.mrA, nil, e.mrB)
+	if _, err := b.WriteBatch(0, nil, e.mrB.Addr()); err == nil {
+		t.Error("empty batch must fail")
+	}
+}
+
+func TestBatcherSPStagingOverflow(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cl, _ := cluster.New(cfg)
+	ctxA := verbs.NewContext(cl.Machine(0))
+	ctxB := verbs.NewContext(cl.Machine(1))
+	qpA, _, _ := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
+	mrA := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<16, 0))
+	mrB := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<16, 0))
+	tiny := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 64, 0))
+	b, err := NewBatcher(SP, qpA, mrA, tiny, mrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []Fragment{{Addr: mrA.Addr(), Length: 128}}
+	if _, err := b.WriteBatch(0, fs, mrB.Addr()); err == nil {
+		t.Fatal("staging overflow must fail")
+	}
+}
+
+func TestAdviseTableI(t *testing.T) {
+	cases := []struct {
+		h    Hints
+		want Strategy
+	}{
+		{Hints{MinimalChanges: true, FragmentBytes: 64, BatchSize: 4}, Doorbell},
+		{Hints{CPUConstrained: true, FragmentBytes: 64, BatchSize: 4}, SGL},
+		{Hints{CPUConstrained: true, FragmentBytes: 4096, BatchSize: 4}, Doorbell},
+		{Hints{FragmentBytes: 64, BatchSize: 8}, SGL},
+		{Hints{FragmentBytes: 64, BatchSize: 32}, SP},
+		{Hints{FragmentBytes: 4096, BatchSize: 4}, SP},
+	}
+	for i, c := range cases {
+		if got := Advise(c.h); got != c.want {
+			t.Errorf("case %d: Advise(%+v)=%v, want %v", i, c.h, got, c.want)
+		}
+	}
+}
+
+func TestConsolidatorFlushesAtTheta(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 4, MaxBlocks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	data := []byte("0123456789abcdef0123456789abcdef") // 32B
+	for i := 0; i < 3; i++ {
+		d, err := c.Write(now, i*32, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d-now > 500 { // absorbed writes are CPU-cheap, no network RTT
+			t.Fatalf("absorbed write %d took %v", i, d-now)
+		}
+		now = d
+	}
+	if _, fl := c.Stats(); fl != 0 {
+		t.Fatal("flush before theta reached")
+	}
+	d, err := c.Write(now, 3*32, data) // 4th write triggers the flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d-now < 900 { // a real RDMA write costs ~1.2us
+		t.Fatalf("theta-triggering write should pay the flush, took %v", d-now)
+	}
+	if w, fl := c.Stats(); w != 4 || fl != 1 {
+		t.Fatalf("stats writes=%d flushes=%d, want 4/1", w, fl)
+	}
+	// Remote block 0 must now carry all four fragments.
+	remote := e.mrB.Region().Bytes()
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(remote[i*32:i*32+32], data) {
+			t.Fatalf("fragment %d missing at remote", i)
+		}
+	}
+}
+
+func TestConsolidatorReadYourWrites(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 100, MaxBlocks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(0, 100, []byte("shadowed")); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 8)
+	d, err := c.Read(1000, 100, 8, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "shadowed" {
+		t.Fatalf("read-your-writes got %q", out)
+	}
+	if d-1000 > 500 {
+		t.Fatalf("shadow read should be CPU-cheap, took %v", d-1000)
+	}
+	// A read outside any pending block goes to the network.
+	copy(e.mrB.Region().Bytes()[4096+8:], "remote!!")
+	d2, err := c.Read(d, 4096+8, 8, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "remote!!" {
+		t.Fatalf("remote read got %q", out)
+	}
+	if d2-d < 1500 { // RDMA read costs ~2us
+		t.Fatalf("remote read too cheap: %v", d2-d)
+	}
+}
+
+func TestConsolidatorLeaseTick(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 100, Lease: 10 * sim.Microsecond, MaxBlocks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(0, 0, []byte("leaseme!")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tick(5 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, fl := c.Stats(); fl != 0 {
+		t.Fatal("tick before lease expiry must not flush")
+	}
+	if _, err := c.Tick(11 * sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, fl := c.Stats(); fl != 1 {
+		t.Fatal("expired lease must flush")
+	}
+	if !bytes.Equal(e.mrB.Region().Bytes()[:8], []byte("leaseme!")) {
+		t.Fatal("lease flush did not land remotely")
+	}
+}
+
+func TestConsolidatorEvictsWhenFull(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 100, MaxBlocks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	for blk := 0; blk < 3; blk++ { // third block evicts the first
+		d, err := c.Write(now, blk*1024, []byte{byte('A' + blk)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d + 1
+	}
+	if _, fl := c.Stats(); fl != 1 {
+		t.Fatalf("flushes=%d, want 1 eviction", func() int64 { _, f := c.Stats(); return f }())
+	}
+	if e.mrB.Region().Bytes()[0] != 'A' {
+		t.Fatal("evicted block 0 did not land remotely")
+	}
+}
+
+func TestConsolidatorFlushAll(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 512, Theta: 100, MaxBlocks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 5; blk++ {
+		if _, err := c.Write(0, blk*512, []byte{byte('0' + blk)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Flush(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, fl := c.Stats(); fl != 5 {
+		t.Fatalf("flushes=%d, want 5", fl)
+	}
+	for blk := 0; blk < 5; blk++ {
+		if e.mrB.Region().Bytes()[blk*512] != byte('0'+blk) {
+			t.Fatalf("block %d missing", blk)
+		}
+	}
+}
+
+func TestConsolidatorValidation(t *testing.T) {
+	e := newEnv(t)
+	if _, err := NewConsolidator(ConsolidatorConfig{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB,
+		BlockSize: 1 << 22, Theta: 4, MaxBlocks: 8, // shadow too small
+	}); err == nil {
+		t.Error("oversized blocks must fail")
+	}
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 4, MaxBlocks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(0, 1000, make([]byte, 100)); err == nil {
+		t.Error("block-straddling write must fail")
+	}
+	if _, err := c.Write(0, -1, []byte("x")); err == nil {
+		t.Error("negative offset must fail")
+	}
+	if _, err := c.Read(0, 1000, 100, make([]byte, 100)); err == nil {
+		t.Error("block-straddling read must fail")
+	}
+}
+
+// wrTo builds a simple write WR from mrA's base to a remote heap address.
+func wrTo(e *env, addr mem.Addr, size int) verbs.SendWR {
+	return verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        []verbs.SGE{{Addr: e.mrA.Addr(), Length: size, MR: e.mrA}},
+		RemoteAddr: addr,
+		RemoteKey:  e.mrB.RKey(),
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rdmasem/internal/mem"
+	"rdmasem/internal/verbs"
+)
+
+// Heap is a client-side allocator over a remote memory region — the
+// InfiniSwap-style "back-end allocator" role the paper's introduction
+// describes for remote memory. Metadata lives at the client (allocation is a
+// purely local decision; only the data moves over RDMA), using a
+// first-fit free list with coalescing.
+//
+// A Heap is single-owner: concurrent fronts each carve their own Heap out of
+// disjoint remote extents, or coordinate externally (e.g. with a
+// RemoteSequencer handing out extents).
+type Heap struct {
+	mr    *verbs.MR
+	base  mem.Addr
+	size  int
+	align int
+	free  []span // sorted by address, non-overlapping, coalesced
+	used  map[mem.Addr]int
+	inUse int
+}
+
+type span struct {
+	addr mem.Addr
+	size int
+}
+
+// NewHeap builds an allocator over [mr.Addr()+off, +size). Alignment must be
+// a power of two (default 64, one cache line).
+func NewHeap(mr *verbs.MR, off, size, align int) (*Heap, error) {
+	if mr == nil {
+		return nil, fmt.Errorf("core: heap needs an MR")
+	}
+	if align == 0 {
+		align = 64
+	}
+	if align&(align-1) != 0 {
+		return nil, fmt.Errorf("core: alignment %d is not a power of two", align)
+	}
+	if off < 0 || size <= 0 || off+size > mr.Region().Size() {
+		return nil, fmt.Errorf("core: heap extent [%d,+%d) outside the MR", off, size)
+	}
+	base := mr.Addr() + mem.Addr(off)
+	return &Heap{
+		mr:    mr,
+		base:  base,
+		size:  size,
+		align: align,
+		free:  []span{{addr: base, size: size}},
+		used:  make(map[mem.Addr]int),
+	}, nil
+}
+
+// Alloc reserves n bytes of remote memory and returns its address.
+func (h *Heap) Alloc(n int) (mem.Addr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: allocation size must be positive, got %d", n)
+	}
+	n = (n + h.align - 1) &^ (h.align - 1)
+	for i, f := range h.free {
+		// First fit with alignment padding.
+		pad := int((uint64(h.align) - uint64(f.addr)%uint64(h.align)) % uint64(h.align))
+		if f.size < n+pad {
+			continue
+		}
+		addr := f.addr + mem.Addr(pad)
+		// Carve: possible leading pad fragment, the allocation, the tail.
+		var repl []span
+		if pad > 0 {
+			repl = append(repl, span{addr: f.addr, size: pad})
+		}
+		if tail := f.size - pad - n; tail > 0 {
+			repl = append(repl, span{addr: addr + mem.Addr(n), size: tail})
+		}
+		h.free = append(h.free[:i], append(repl, h.free[i+1:]...)...)
+		h.used[addr] = n
+		h.inUse += n
+		return addr, nil
+	}
+	return 0, fmt.Errorf("core: heap exhausted (%d bytes requested, %d free)", n, h.size-h.inUse)
+}
+
+// Free returns an allocation to the heap, coalescing with neighbors.
+func (h *Heap) Free(addr mem.Addr) error {
+	n, ok := h.used[addr]
+	if !ok {
+		return fmt.Errorf("core: free of unallocated address %#x", addr)
+	}
+	delete(h.used, addr)
+	h.inUse -= n
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].addr > addr })
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = span{addr: addr, size: n}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].addr+mem.Addr(h.free[i].size) == h.free[i+1].addr {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].addr+mem.Addr(h.free[i-1].size) == h.free[i].addr {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// SizeOf reports the (aligned) size of a live allocation.
+func (h *Heap) SizeOf(addr mem.Addr) (int, bool) {
+	n, ok := h.used[addr]
+	return n, ok
+}
+
+// InUse reports the total bytes currently allocated.
+func (h *Heap) InUse() int { return h.inUse }
+
+// FreeBytes reports the total free capacity (possibly fragmented).
+func (h *Heap) FreeBytes() int { return h.size - h.inUse }
+
+// Fragments reports the number of free-list spans (1 = fully coalesced).
+func (h *Heap) Fragments() int { return len(h.free) }
+
+// MR returns the remote MR the heap allocates from.
+func (h *Heap) MR() *verbs.MR { return h.mr }

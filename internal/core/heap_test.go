@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdmasem/internal/mem"
+)
+
+func heapEnv(t *testing.T, size int) *Heap {
+	t.Helper()
+	e := newEnv(t)
+	h, err := NewHeap(e.mrB, 0, size, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHeapValidation(t *testing.T) {
+	e := newEnv(t)
+	if _, err := NewHeap(nil, 0, 1024, 64); err == nil {
+		t.Error("nil MR must fail")
+	}
+	if _, err := NewHeap(e.mrB, 0, 1024, 3); err == nil {
+		t.Error("non power-of-two alignment must fail")
+	}
+	if _, err := NewHeap(e.mrB, 0, e.mrB.Region().Size()+1, 64); err == nil {
+		t.Error("oversized extent must fail")
+	}
+	if _, err := NewHeap(e.mrB, -1, 64, 64); err == nil {
+		t.Error("negative offset must fail")
+	}
+}
+
+func TestHeapAllocFree(t *testing.T) {
+	h := heapEnv(t, 4096)
+	a, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a)%64 != 0 {
+		t.Fatalf("misaligned allocation %#x", a)
+	}
+	if n, ok := h.SizeOf(a); !ok || n != 128 { // rounded to alignment
+		t.Fatalf("SizeOf=%d,%v", n, ok)
+	}
+	b, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+128 {
+		t.Fatalf("allocations overlap: %#x %#x", a, b)
+	}
+	if h.InUse() != 192 {
+		t.Fatalf("in use %d", h.InUse())
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if h.InUse() != 0 || h.Fragments() != 1 {
+		t.Fatalf("after frees: inUse=%d fragments=%d (coalescing broken)", h.InUse(), h.Fragments())
+	}
+}
+
+func TestHeapErrors(t *testing.T) {
+	h := heapEnv(t, 1024)
+	if _, err := h.Alloc(0); err == nil {
+		t.Error("zero alloc must fail")
+	}
+	if _, err := h.Alloc(2048); err == nil {
+		t.Error("oversized alloc must fail")
+	}
+	if err := h.Free(mem.Addr(12345)); err == nil {
+		t.Error("free of unallocated must fail")
+	}
+	a, _ := h.Alloc(64)
+	h.Free(a)
+	if err := h.Free(a); err == nil {
+		t.Error("double free must fail")
+	}
+}
+
+func TestHeapExhaustionAndReuse(t *testing.T) {
+	h := heapEnv(t, 1024)
+	var addrs []mem.Addr
+	for {
+		a, err := h.Alloc(64)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) != 16 {
+		t.Fatalf("allocated %d x64B from 1KB", len(addrs))
+	}
+	// Free one in the middle and reallocate into the hole.
+	if err := h.Free(addrs[7]); err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != addrs[7] {
+		t.Fatalf("hole not reused: got %#x, want %#x", a, addrs[7])
+	}
+}
+
+// Property: live allocations never overlap, stay inside the extent, and
+// freeing everything restores one fully-coalesced span.
+func TestHeapInvariantsProperty(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed int64, opsRaw uint8) bool {
+		h, err := NewHeap(e.mrB, 0, 1<<16, 64)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var live []mem.Addr
+		for i := 0; i < int(opsRaw); i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				a, err := h.Alloc(rng.Intn(1000) + 1)
+				if err != nil {
+					continue
+				}
+				live = append(live, a)
+			} else {
+				k := rng.Intn(len(live))
+				if h.Free(live[k]) != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+			// Check invariants over live set.
+			for x := 0; x < len(live); x++ {
+				nx, _ := h.SizeOf(live[x])
+				if live[x] < h.base || live[x]+mem.Addr(nx) > h.base+mem.Addr(h.size) {
+					return false
+				}
+				for y := x + 1; y < len(live); y++ {
+					ny, _ := h.SizeOf(live[y])
+					if live[x] < live[y]+mem.Addr(ny) && live[y] < live[x]+mem.Addr(nx) {
+						return false
+					}
+				}
+			}
+		}
+		for _, a := range live {
+			if h.Free(a) != nil {
+				return false
+			}
+		}
+		return h.InUse() == 0 && h.Fragments() == 1 && h.FreeBytes() == 1<<16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The heap composes with the verbs layer: allocate remotely, write, read
+// back.
+func TestHeapBacksRemoteWrites(t *testing.T) {
+	e := newEnv(t)
+	h, err := NewHeap(e.mrB, 0, 4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := h.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(e.mrA.Region().Bytes(), "heap-backed remote write")
+	wr := wrTo(e, addr, 24)
+	if _, err := e.qpA.PostSend(0, &wr); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.mrB.Region().Slice(addr, 24)
+	if string(got) != "heap-backed remote write" {
+		t.Fatalf("remote bytes %q", got)
+	}
+}

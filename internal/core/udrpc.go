@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmasem/internal/sim"
+	"rdmasem/internal/verbs"
+)
+
+// Caller abstracts one request/response exchange so the RPC-based lock and
+// sequencer run over either the RC (connected send/recv) or the UD
+// (datagram, Herd/FaSST-style) transport.
+type Caller interface {
+	Call(now sim.Time, reqSize, respSize int, handler func(at sim.Time) uint64) (uint64, sim.Time, error)
+}
+
+// UDRPCServer is the datagram-RPC flavor of RPCServer: one UD queue pair
+// serves every client, so the responder's QP-context footprint stays
+// constant no matter how many clients connect — the scalability property
+// Section II-B2 attributes to UD designs.
+type UDRPCServer struct {
+	cpu     *sim.Resource
+	service sim.Duration
+	ctx     *verbs.Context
+	qp      *verbs.UDQP
+	mr      *verbs.MR
+}
+
+// NewUDRPCServer creates a UD RPC server on the given port.
+func NewUDRPCServer(ctx *verbs.Context, port int, mr *verbs.MR, service sim.Duration) (*UDRPCServer, error) {
+	if ctx == nil || mr == nil {
+		return nil, fmt.Errorf("core: ud rpc server needs a context and MR")
+	}
+	if service <= 0 {
+		return nil, fmt.Errorf("core: ud rpc service time must be positive")
+	}
+	qp, err := verbs.NewUDQP(ctx, port)
+	if err != nil {
+		return nil, err
+	}
+	return &UDRPCServer{
+		cpu:     sim.NewResource("udrpc-server/cpu"),
+		service: service,
+		ctx:     ctx,
+		qp:      qp,
+		mr:      mr,
+	}, nil
+}
+
+// CPU exposes the server CPU resource.
+func (s *UDRPCServer) CPU() *sim.Resource { return s.cpu }
+
+// UDRPCClient is one client's endpoint toward a UDRPCServer.
+type UDRPCClient struct {
+	server *UDRPCServer
+	qp     *verbs.UDQP
+	mr     *verbs.MR
+}
+
+// NewUDRPCClient creates a client endpoint on the given context and port.
+func (s *UDRPCServer) NewUDRPCClient(client *verbs.Context, port int, clientMR *verbs.MR) (*UDRPCClient, error) {
+	qp, err := verbs.NewUDQP(client, port)
+	if err != nil {
+		return nil, err
+	}
+	return &UDRPCClient{server: s, qp: qp, mr: clientMR}, nil
+}
+
+// Call performs one datagram request/response exchange. Both directions are
+// single UD sends; the handler runs under the server CPU at its service
+// time. UD is unreliable, but the exchange pre-posts both receive buffers,
+// so within the simulation no datagram is ever dropped.
+func (c *UDRPCClient) Call(now sim.Time, reqSize, respSize int, handler func(at sim.Time) uint64) (uint64, sim.Time, error) {
+	s := c.server
+	if err := s.qp.PostRecv(verbs.RecvWR{
+		SGE: verbs.SGE{Addr: s.mr.Addr(), Length: reqSize, MR: s.mr},
+	}); err != nil {
+		return 0, 0, err
+	}
+	if err := c.qp.PostRecv(verbs.RecvWR{
+		SGE: verbs.SGE{Addr: c.mr.Addr(), Length: respSize, MR: c.mr},
+	}); err != nil {
+		return 0, 0, err
+	}
+	// Request datagram (inline when small: the fast path Herd uses).
+	if _, dropped, err := c.qp.Send(now, s.qp.Handle(),
+		[]verbs.SGE{{Addr: c.mr.Addr(), Length: reqSize, MR: c.mr}}, reqSize <= verbs.MaxInline); err != nil {
+		return 0, 0, err
+	} else if dropped {
+		return 0, 0, fmt.Errorf("core: ud rpc request dropped")
+	}
+	cqes := s.qp.RecvCQ().Poll(sim.MaxTime, 1)
+	if len(cqes) != 1 {
+		return 0, 0, fmt.Errorf("core: ud rpc request did not arrive")
+	}
+	t := s.cpu.Delay(cqes[0].Time, s.service)
+	var result uint64
+	if handler != nil {
+		result = handler(t)
+	}
+	// Response datagram.
+	if _, dropped, err := s.qp.Send(t, c.qp.Handle(),
+		[]verbs.SGE{{Addr: s.mr.Addr(), Length: respSize, MR: s.mr}}, respSize <= verbs.MaxInline); err != nil {
+		return 0, 0, err
+	} else if dropped {
+		return 0, 0, fmt.Errorf("core: ud rpc response dropped")
+	}
+	rcqes := c.qp.RecvCQ().Poll(sim.MaxTime, 1)
+	if len(rcqes) != 1 {
+		return 0, 0, fmt.Errorf("core: ud rpc response did not arrive")
+	}
+	return result, rcqes[0].Time, nil
+}

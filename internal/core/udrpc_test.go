@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"rdmasem/internal/sim"
+	"rdmasem/internal/verbs"
+)
+
+func TestUDRPCValidation(t *testing.T) {
+	e := newLockEnv(t, 1)
+	if _, err := NewUDRPCServer(nil, 1, e.srvMR, 300); err == nil {
+		t.Error("nil context must fail")
+	}
+	if _, err := NewUDRPCServer(e.server, 1, e.srvMR, 0); err == nil {
+		t.Error("zero service must fail")
+	}
+	if _, err := NewUDRPCServer(e.server, 9, e.srvMR, 300); err == nil {
+		t.Error("bad port must fail")
+	}
+}
+
+func TestUDRPCCallRoundTrip(t *testing.T) {
+	e := newLockEnv(t, 2)
+	srv, err := NewUDRPCServer(e.server, 1, e.srvMR, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := srv.NewUDRPCClient(e.clients[0], 1, e.scrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, done, err := c0.Call(0, 16, 8, func(at sim.Time) uint64 {
+		if at <= 0 {
+			t.Fatal("handler must run at a positive time")
+		}
+		return 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("handler result %d", got)
+	}
+	if done <= 0 {
+		t.Fatal("call must take time")
+	}
+}
+
+// The paper cites Kalia et al.: UD RPC outruns connected-transport RPC. The
+// datagram exchange saves the RC acknowledgements in both directions.
+func TestUDRPCFasterThanRCRPC(t *testing.T) {
+	e := newLockEnv(t, 2)
+	rcSrv, err := NewRPCServer(e.server, e.srvMR, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := rcSrv.NewRPCClient(e.clients[0], 1, 1, e.scrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	udSrv, err := NewUDRPCServer(e.server, 1, e.srvMR, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := udSrv.NewUDRPCClient(e.clients[1], 1, e.scrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both paths, then compare steady-state latency.
+	rc.Call(0, 16, 8, nil)
+	ud.Call(0, 16, 8, nil)
+	base := sim.Time(sim.Millisecond)
+	_, rcDone, err := rc.Call(base, 16, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, udDone, err := ud.Call(base, 16, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udDone-base >= rcDone-base {
+		t.Fatalf("UD RPC (%v) should beat RC RPC (%v)", udDone-base, rcDone-base)
+	}
+}
+
+func TestUDRPCSequencer(t *testing.T) {
+	e := newLockEnv(t, 2)
+	srv, err := NewUDRPCServer(e.server, 1, e.srvMR, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter uint64
+	var seqs []*RPCSequencer
+	for i := 0; i < 2; i++ {
+		c, err := srv.NewUDRPCClient(e.clients[i], 1, e.scrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, NewRPCSequencer(c, &counter))
+	}
+	v0, d0, err := seqs[0].Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _, err := seqs[1].Next(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 0 || v1 != 1 {
+		t.Fatalf("ud rpc sequence %d,%d", v0, v1)
+	}
+}
+
+func TestUDRPCLockMutualExclusion(t *testing.T) {
+	e := newLockEnv(t, 3)
+	srv, err := NewUDRPCServer(e.server, 1, e.srvMR, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := NewLockState()
+	var locks []*RPCLock
+	for i := 0; i < 3; i++ {
+		c, err := srv.NewUDRPCClient(e.clients[i], 1, e.scrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		locks = append(locks, NewRPCLock(state, c, i))
+	}
+	type iv struct{ a, r sim.Time }
+	var ivs []iv
+	clients := make([]*sim.Client, 3)
+	for i := 0; i < 3; i++ {
+		lock := locks[i]
+		clients[i] = &sim.Client{
+			PostCost: 150, Window: 1, MaxOps: 10,
+			Op: func(post sim.Time) sim.Time {
+				at, err := lock.Acquire(post)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt, err := lock.Release(at + 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ivs = append(ivs, iv{at, rt})
+				return rt
+			},
+		}
+	}
+	sim.RunClosedLoop(clients, sim.Second)
+	if len(ivs) != 30 {
+		t.Fatalf("cycles=%d", len(ivs))
+	}
+	for i := range ivs {
+		for j := i + 1; j < len(ivs); j++ {
+			if ivs[i].a < ivs[j].r && ivs[j].a < ivs[i].r {
+				t.Fatal("UD RPC lock critical sections overlap")
+			}
+		}
+	}
+}
+
+// Interface check: both transports satisfy Caller.
+var (
+	_ Caller = (*RPCClient)(nil)
+	_ Caller = (*UDRPCClient)(nil)
+	_        = verbs.UDMTU
+)

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/verbs"
+)
+
+// Strategy selects one of the paper's three vector-IO batch mechanisms
+// (Section III-A, Algorithm 1).
+type Strategy int
+
+// Batch strategies.
+const (
+	// SP redesigns the Software Protocol: the CPU memcpys every fragment
+	// into one staging buffer and posts a single WR with one SGE. Highest
+	// throughput, highest CPU cost, worst programmability (Table I).
+	SP Strategy = iota
+	// Doorbell posts one WR per fragment but rings a single doorbell for
+	// the whole list, saving all but one MMIO. It does not reduce network
+	// round trips.
+	Doorbell
+	// SGL posts one WR whose scatter/gather list names every fragment; the
+	// NIC gathers them with scatter/gather DMA and the batch travels as one
+	// network operation to one remote extent.
+	SGL
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case SP:
+		return "SP"
+	case Doorbell:
+		return "Doorbell"
+	default:
+		return "SGL"
+	}
+}
+
+// CPU-cost constants for work-request construction, used for the paper's
+// Figure 18 style CPU accounting.
+const (
+	// WRBuildCost is the CPU time to construct and chain one WQE.
+	WRBuildCost sim.Duration = 40
+	// SGEBuildCost is the CPU time to append one SGE to a WQE.
+	SGEBuildCost sim.Duration = 25
+	// PostCPUCost is the CPU time of ringing one doorbell (MMIO write from
+	// the core's perspective; the latency cost lives in the RNIC model).
+	PostCPUCost sim.Duration = 150
+)
+
+// Fragment is one local piece of data to batch.
+type Fragment struct {
+	Addr   mem.Addr
+	Length int
+}
+
+// BatchResult reports one batched operation.
+type BatchResult struct {
+	Done     sim.Time     // completion of the last constituent operation
+	CPU      sim.Duration // requester CPU time consumed (gathering, WQEs, MMIOs)
+	Requests int          // RDMA operations issued on the wire
+}
+
+// Batcher issues batched remote writes of scattered local fragments using a
+// fixed strategy. It is bound to one QP, one local MR holding the fragments,
+// and (for SP) a staging buffer within that MR's machine.
+type Batcher struct {
+	strategy Strategy
+	qp       *verbs.QP
+	localMR  *verbs.MR
+	staging  *verbs.MR // SP staging buffer; nil for other strategies
+	remoteMR *verbs.MR
+}
+
+// NewBatcher creates a batcher. For the SP strategy, staging must be a local
+// MR large enough for any batch; other strategies ignore it.
+func NewBatcher(s Strategy, qp *verbs.QP, localMR *verbs.MR, staging *verbs.MR, remoteMR *verbs.MR) (*Batcher, error) {
+	if qp == nil || localMR == nil || remoteMR == nil {
+		return nil, fmt.Errorf("core: batcher needs qp, local MR and remote MR")
+	}
+	if s == SP && staging == nil {
+		return nil, fmt.Errorf("core: SP strategy requires a staging buffer")
+	}
+	return &Batcher{strategy: s, qp: qp, localMR: localMR, staging: staging, remoteMR: remoteMR}, nil
+}
+
+// Strategy returns the batcher's configured strategy.
+func (b *Batcher) Strategy() Strategy { return b.strategy }
+
+// WriteBatch writes the fragments so that they land contiguously at
+// remoteAddr, using the configured strategy. It returns the completion of
+// the last constituent RDMA operation and the CPU cost burned by the caller.
+//
+// Note the semantic difference the paper highlights: SP and SGL coalesce the
+// batch into ONE network operation; Doorbell issues len(frags) operations
+// (and for Doorbell the fragments land at consecutive offsets computed from
+// the fragment lengths, which is equivalent for our contiguous-destination
+// benchmarks).
+func (b *Batcher) WriteBatch(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (BatchResult, error) {
+	if len(frags) == 0 {
+		return BatchResult{}, fmt.Errorf("core: empty batch")
+	}
+	switch b.strategy {
+	case SP:
+		return b.writeSP(now, frags, remoteAddr)
+	case Doorbell:
+		return b.writeDoorbell(now, frags, remoteAddr)
+	default:
+		return b.writeSGL(now, frags, remoteAddr)
+	}
+}
+
+// writeSP gathers with the CPU into the staging buffer, then posts one WR.
+func (b *Batcher) writeSP(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (BatchResult, error) {
+	tp := b.qp.Context().Machine().Topology().Params
+	stage := b.staging.Region()
+	dst := stage.Bytes()
+	var cpu sim.Duration
+	total := 0
+	for _, f := range frags {
+		src, err := b.localMR.Region().Slice(f.Addr, f.Length)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		if total+f.Length > len(dst) {
+			return BatchResult{}, fmt.Errorf("core: staging buffer overflow (%d > %d)", total+f.Length, len(dst))
+		}
+		copy(dst[total:], src)
+		cross := b.localMR.Region().Socket() != stage.Socket()
+		cpu += tp.MemcpyTime(f.Length, cross)
+		total += f.Length
+	}
+	cpu += WRBuildCost + SGEBuildCost + PostCPUCost
+	// The gather burns the caller's CPU before the post happens.
+	comp, err := b.qp.PostSend(now+cpu, &verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        []verbs.SGE{{Addr: stage.Addr(), Length: total, MR: b.staging}},
+		RemoteAddr: remoteAddr,
+		RemoteKey:  b.remoteMR.RKey(),
+	})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Done: comp.Done, CPU: cpu, Requests: 1}, nil
+}
+
+// writeDoorbell posts one WR per fragment under a single doorbell.
+func (b *Batcher) writeDoorbell(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (BatchResult, error) {
+	wrs := make([]*verbs.SendWR, len(frags))
+	off := 0
+	for i, f := range frags {
+		wrs[i] = &verbs.SendWR{
+			Opcode:     verbs.OpWrite,
+			SGL:        []verbs.SGE{{Addr: f.Addr, Length: f.Length, MR: b.localMR}},
+			RemoteAddr: remoteAddr + mem.Addr(off),
+			RemoteKey:  b.remoteMR.RKey(),
+		}
+		off += f.Length
+	}
+	cpu := sim.Duration(len(frags))*(WRBuildCost+SGEBuildCost) + PostCPUCost
+	comps, err := b.qp.PostSendList(now+cpu, wrs)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Done: comps[len(comps)-1].Done, CPU: cpu, Requests: len(frags)}, nil
+}
+
+// writeSGL posts one WR with one SGE per fragment.
+func (b *Batcher) writeSGL(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (BatchResult, error) {
+	sgl := make([]verbs.SGE, len(frags))
+	for i, f := range frags {
+		sgl[i] = verbs.SGE{Addr: f.Addr, Length: f.Length, MR: b.localMR}
+	}
+	cpu := WRBuildCost + sim.Duration(len(frags))*SGEBuildCost + PostCPUCost
+	comp, err := b.qp.PostSend(now+cpu, &verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        sgl,
+		RemoteAddr: remoteAddr,
+		RemoteKey:  b.remoteMR.RKey(),
+	})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Done: comp.Done, CPU: cpu, Requests: 1}, nil
+}
+
+// Hints describes a workload for strategy selection.
+type Hints struct {
+	BatchSize      int  // fragments per batch
+	FragmentBytes  int  // typical fragment size
+	CPUConstrained bool // caller cannot spare gather cycles
+	MinimalChanges bool // caller cannot restructure buffers (programmability)
+}
+
+// Advise codifies Table I: Doorbell when the code cannot change, SP for
+// maximum throughput when CPU is available, SGL otherwise — but SGL only in
+// its effective range (fragments under ~512 B, Section III-A's scalability
+// caveat).
+func Advise(h Hints) Strategy {
+	if h.MinimalChanges {
+		return Doorbell
+	}
+	if h.CPUConstrained {
+		if h.FragmentBytes <= 512 {
+			return SGL
+		}
+		return Doorbell
+	}
+	if h.FragmentBytes <= 512 && h.BatchSize <= 16 {
+		return SGL
+	}
+	return SP
+}

@@ -1,0 +1,125 @@
+// Package fabric models the cluster interconnect: one InfiniScale-style
+// switch with full-duplex links to every registered NIC port. Each port has
+// independent transmit and receive pipes, so both outcast (a port fanning
+// out) and incast (many ports converging on one) contention appear
+// naturally.
+package fabric
+
+import (
+	"fmt"
+
+	"rdmasem/internal/sim"
+)
+
+// Params configures the interconnect. Defaults mirror the paper's testbed:
+// 40 Gbps links and an 18-port Mellanox InfiniScale-IV switch.
+type Params struct {
+	LinkBandwidth float64      // bytes/s per direction per port
+	Propagation   sim.Duration // cable + SerDes latency, one way
+	SwitchLatency sim.Duration // cut-through forwarding latency
+	FrameOverhead int          // per-message wire overhead bytes (headers/CRC)
+}
+
+// DefaultParams returns the 40 Gbps InfiniBand calibration.
+func DefaultParams() Params {
+	return Params{
+		LinkBandwidth: 5.0e9, // 40 Gbps
+		Propagation:   60,
+		SwitchLatency: 30,
+		FrameOverhead: 30, // LRH+BTH+RETH+ICRC-ish
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.LinkBandwidth <= 0 {
+		return fmt.Errorf("fabric: link bandwidth must be positive")
+	}
+	if p.FrameOverhead < 0 {
+		return fmt.Errorf("fabric: frame overhead must be nonnegative")
+	}
+	return nil
+}
+
+// Endpoint is one registered switch port (one NIC port plugged into the
+// switch).
+type Endpoint struct {
+	name string
+	tx   *sim.Pipe
+	rx   *sim.Pipe
+}
+
+// Name returns the endpoint's diagnostic name.
+func (e *Endpoint) Name() string { return e.name }
+
+// TxUtilization reports the transmit-link busy fraction over the horizon.
+func (e *Endpoint) TxUtilization(horizon sim.Time) float64 { return e.tx.Utilization(horizon) }
+
+// RxUtilization reports the receive-link busy fraction over the horizon.
+func (e *Endpoint) RxUtilization(horizon sim.Time) float64 { return e.rx.Utilization(horizon) }
+
+// Fabric is the switch plus all registered endpoints.
+type Fabric struct {
+	params    Params
+	endpoints []*Endpoint
+}
+
+// New creates an empty fabric.
+func New(p Params) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{params: p}, nil
+}
+
+// Params returns the fabric configuration.
+func (f *Fabric) Params() Params { return f.params }
+
+// Register plugs a new port into the switch and returns its endpoint.
+func (f *Fabric) Register(name string) *Endpoint {
+	e := &Endpoint{
+		name: name,
+		tx:   sim.NewPipe(name+"/tx", f.params.LinkBandwidth, 0),
+		rx:   sim.NewPipe(name+"/rx", f.params.LinkBandwidth, 0),
+	}
+	f.endpoints = append(f.endpoints, e)
+	return e
+}
+
+// Endpoints returns all registered endpoints in registration order.
+func (f *Fabric) Endpoints() []*Endpoint {
+	out := make([]*Endpoint, len(f.endpoints))
+	copy(out, f.endpoints)
+	return out
+}
+
+// Send moves one message of size payload bytes from one endpoint to another,
+// returning the time the last byte lands in the destination NIC. The path
+// is: serialize on the sender's tx link, cross the switch, contend on the
+// receiver's rx link. Sending to the local endpoint is a loopback and only
+// pays switch latency (the paper's benchmarks never do this, but the apps'
+// self-partitions may).
+func (f *Fabric) Send(now sim.Time, from, to *Endpoint, payload int) sim.Time {
+	if from == nil || to == nil {
+		panic("fabric: nil endpoint")
+	}
+	if payload < 0 {
+		panic("fabric: negative payload")
+	}
+	wire := payload + f.params.FrameOverhead
+	if from == to {
+		return now + f.params.SwitchLatency
+	}
+	txStart, _ := from.tx.Transfer(now, wire)
+	rxArrival := txStart + f.params.Propagation + f.params.SwitchLatency
+	_, rxEnd := to.rx.Transfer(rxArrival, wire)
+	return rxEnd
+}
+
+// Reset clears all link queues (between experiment runs).
+func (f *Fabric) Reset() {
+	for _, e := range f.endpoints {
+		e.tx.Reset()
+		e.rx.Reset()
+	}
+}

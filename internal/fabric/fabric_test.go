@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdmasem/internal/sim"
+)
+
+func newFabric(t *testing.T) *Fabric {
+	t.Helper()
+	f, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Fatal("expected error for zero bandwidth")
+	}
+	p := DefaultParams()
+	p.FrameOverhead = -1
+	if _, err := New(p); err == nil {
+		t.Fatal("expected error for negative overhead")
+	}
+}
+
+func TestSendLatencyComposition(t *testing.T) {
+	f := newFabric(t)
+	a, b := f.Register("a"), f.Register("b")
+	p := f.Params()
+	end := f.Send(0, a, b, 0)
+	want := sim.TransferTime(p.FrameOverhead, p.LinkBandwidth) + p.Propagation + p.SwitchLatency
+	if end != want {
+		t.Fatalf("empty payload: got %v, want %v", end, want)
+	}
+	big := f.Send(1_000_000, a, b, 8192)
+	small := f.Send(2_000_000, a, b, 64)
+	if big-1_000_000 <= small-2_000_000 {
+		t.Fatal("larger payloads must take longer")
+	}
+}
+
+func TestSendSerializesOnTx(t *testing.T) {
+	f := newFabric(t)
+	a, b := f.Register("a"), f.Register("b")
+	t1 := f.Send(0, a, b, 4096)
+	t2 := f.Send(0, a, b, 4096)
+	if t2 <= t1 {
+		t.Fatal("second message must queue behind the first on tx")
+	}
+}
+
+func TestIncastContention(t *testing.T) {
+	f := newFabric(t)
+	dst := f.Register("dst")
+	var last sim.Time
+	// Eight senders converge on one receiver at t=0; rx link serializes.
+	for i := 0; i < 8; i++ {
+		src := f.Register("src")
+		end := f.Send(0, src, dst, 4096)
+		if end <= last {
+			t.Fatal("incast completions must be strictly ordered by rx serialization")
+		}
+		last = end
+	}
+	// Total must be at least 8 * serialization of one frame.
+	minTotal := sim.TransferTime(8*(4096+f.Params().FrameOverhead), f.Params().LinkBandwidth)
+	if last < minTotal {
+		t.Fatalf("incast total %v below rx serialization floor %v", last, minTotal)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	f := newFabric(t)
+	a := f.Register("a")
+	end := f.Send(100, a, a, 1<<20)
+	if end != 100+f.Params().SwitchLatency {
+		t.Fatalf("loopback should only pay switch latency, got %v", end-100)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	f := newFabric(t)
+	a := f.Register("a")
+	for _, fn := range []func(){
+		func() { f.Send(0, nil, a, 1) },
+		func() { f.Send(0, a, a, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUtilizationAndReset(t *testing.T) {
+	f := newFabric(t)
+	a, b := f.Register("a"), f.Register("b")
+	f.Send(0, a, b, 1<<20)
+	if a.TxUtilization(sim.Millisecond) == 0 {
+		t.Fatal("tx utilization should be nonzero")
+	}
+	if b.RxUtilization(sim.Millisecond) == 0 {
+		t.Fatal("rx utilization should be nonzero")
+	}
+	f.Reset()
+	if a.TxUtilization(sim.Millisecond) != 0 || b.RxUtilization(sim.Millisecond) != 0 {
+		t.Fatal("reset did not clear links")
+	}
+	if len(f.Endpoints()) != 2 {
+		t.Fatal("endpoints should survive reset")
+	}
+}
+
+// Property: delivery time is monotone in payload size and never earlier than
+// propagation + switch latency.
+func TestSendMonotoneProperty(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		fab, err := New(DefaultParams())
+		if err != nil {
+			return false
+		}
+		a, b := fab.Register("a"), fab.Register("b")
+		lo, hi := int(s1), int(s2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		e1 := fab.Send(0, a, b, lo)
+		fab.Reset()
+		e2 := fab.Send(0, a, b, hi)
+		floor := fab.Params().Propagation + fab.Params().SwitchLatency
+		return e1 <= e2 && e1 >= floor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

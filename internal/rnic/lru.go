@@ -1,0 +1,86 @@
+package rnic
+
+import "container/list"
+
+// LRU is a fixed-capacity least-recently-used set of uint64 keys. It models
+// the RNIC's on-device SRAM metadata caches (address-translation entries, QP
+// context, MR records): Access touches a key, reporting whether it was
+// already resident, and evicts the coldest entry on insertion when full.
+//
+// LRU is not safe for concurrent use; the simulation kernel is single
+// threaded over virtual time.
+type LRU struct {
+	capacity int
+	entries  map[uint64]*list.Element
+	order    *list.List // front = most recent
+	hits     int64
+	misses   int64
+}
+
+// NewLRU returns an empty cache with the given capacity. Capacity 0 yields a
+// cache that always misses (useful for ablations).
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		entries:  make(map[uint64]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Access touches key, returning true on a hit. On a miss the key is inserted
+// (evicting the LRU entry if the cache is full).
+func (c *LRU) Access(key uint64) bool {
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.capacity == 0 {
+		return false
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(uint64))
+	}
+	c.entries[key] = c.order.PushFront(key)
+	return false
+}
+
+// Contains reports residency without touching recency or statistics.
+func (c *LRU) Contains(key uint64) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Len returns the number of resident entries.
+func (c *LRU) Len() int { return c.order.Len() }
+
+// Cap returns the configured capacity.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Hits returns the number of Access calls that hit.
+func (c *LRU) Hits() int64 { return c.hits }
+
+// Misses returns the number of Access calls that missed.
+func (c *LRU) Misses() int64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset empties the cache and clears statistics.
+func (c *LRU) Reset() {
+	c.entries = make(map[uint64]*list.Element)
+	c.order.Init()
+	c.hits, c.misses = 0, 0
+}

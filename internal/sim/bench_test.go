@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// Host-side microbenchmarks of the simulation kernel itself: these measure
+// how fast the simulator runs on the host, not virtual-time quantities.
+
+func BenchmarkResourceAcquireOrdered(b *testing.B) {
+	r := NewResource("b")
+	for i := 0; i < b.N; i++ {
+		r.Acquire(Time(i*10), 5)
+	}
+}
+
+func BenchmarkResourceAcquireGapFill(b *testing.B) {
+	r := NewResource("b")
+	// Alternate far-future and past arrivals to exercise the gap search.
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			r.Acquire(Time(i*100), 10)
+		} else {
+			r.Acquire(Time(i*100-5000), 10)
+		}
+	}
+}
+
+func BenchmarkPipeTransfer(b *testing.B) {
+	p := NewPipe("b", 5e9, 20)
+	for i := 0; i < b.N; i++ {
+		p.Transfer(Time(i*100), 64)
+	}
+}
+
+func BenchmarkClosedLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := NewResource("eu")
+		clients := []*Client{
+			{Op: func(t Time) Time { return r.Delay(t, 200) }, PostCost: 100, Window: 8},
+			{Op: func(t Time) Time { return r.Delay(t, 200) }, PostCost: 100, Window: 8},
+		}
+		RunClosedLoop(clients, Millisecond)
+	}
+}

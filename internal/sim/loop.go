@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Op performs one logical operation posted at the given virtual time and
+// returns the operation's completion time. An Op typically walks the posted
+// request through a series of Resources and Pipes. Completion must not
+// precede the post time.
+type Op func(post Time) (complete Time)
+
+// Client is one closed-loop load generator: it issues operations back to
+// back, keeping at most Window operations in flight, spending PostCost of
+// its own (CPU) time per issue.
+type Client struct {
+	Op       Op
+	PostCost Duration // CPU issue cost per operation; must be > 0
+	Window   int      // maximum outstanding operations; must be >= 1
+	MaxOps   int64    // stop after this many posts; 0 means until horizon
+	// RecordLatencies keeps every completion latency so the result can
+	// report percentiles; leave false for long runs to save memory.
+	RecordLatencies bool
+
+	// state
+	nextPost    Time
+	outstanding completionHeap
+	posted      int64
+	completed   int64 // completions observed within the horizon
+	latencySum  Duration
+	latencyMax  Duration
+	latencyMin  Duration
+	latencies   []Duration // populated when RecordLatencies is set
+	cpuBusy     Duration   // CPU time charged via PostCost and ChargeCPU
+}
+
+// ChargeCPU adds extra CPU busy time to the client's accounting (used by ops
+// that burn caller CPU, e.g. the SP gather memcpy). It does not advance time;
+// the op is responsible for reflecting the cost in its completion time.
+func (c *Client) ChargeCPU(d Duration) { c.cpuBusy += d }
+
+// ClientStats summarizes one client's activity after a run.
+type ClientStats struct {
+	Posted     int64
+	Completed  int64
+	LatencyAvg Duration
+	LatencyMin Duration
+	LatencyMax Duration
+	CPUBusy    Duration
+	Latencies  []Duration // sorted; only with RecordLatencies
+}
+
+// Percentile returns the p-quantile (0..1) of the recorded latencies, or 0
+// when none were recorded.
+func (s ClientStats) Percentile(p float64) Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	i := int(p * float64(len(s.Latencies)-1))
+	return s.Latencies[i]
+}
+
+// Result summarizes a closed-loop run.
+type Result struct {
+	Horizon   Time
+	Completed int64
+	Clients   []ClientStats
+}
+
+// Throughput reports completed operations per second of virtual time.
+func (r Result) Throughput() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Horizon.Seconds()
+}
+
+// MOPS reports throughput in millions of operations per second, the unit the
+// paper plots.
+func (r Result) MOPS() float64 { return r.Throughput() / 1e6 }
+
+// LatencyAvg reports the completion-weighted mean latency over all clients.
+func (r Result) LatencyAvg() Duration {
+	var sum Duration
+	var n int64
+	for _, c := range r.Clients {
+		sum += c.LatencyAvg * Duration(c.Completed)
+		n += c.Completed
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / Duration(n)
+}
+
+// TotalCPUBusy reports the summed CPU busy time across clients.
+func (r Result) TotalCPUBusy() Duration {
+	var sum Duration
+	for _, c := range r.Clients {
+		sum += c.CPUBusy
+	}
+	return sum
+}
+
+// completionHeap is a min-heap of completion times.
+type completionHeap []Time
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(Time)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nextAction reports when the client can next issue an operation.
+func (c *Client) nextAction() Time {
+	if len(c.outstanding) < c.Window {
+		return c.nextPost
+	}
+	return Max(c.nextPost, c.outstanding[0])
+}
+
+// clientHeap orders clients by next action time; ties break by index for
+// determinism.
+type clientHeap struct {
+	clients []*Client
+	index   []int
+}
+
+func (h clientHeap) Len() int { return len(h.clients) }
+func (h clientHeap) Less(i, j int) bool {
+	ai, aj := h.clients[i].nextAction(), h.clients[j].nextAction()
+	if ai != aj {
+		return ai < aj
+	}
+	return h.index[i] < h.index[j]
+}
+func (h clientHeap) Swap(i, j int) {
+	h.clients[i], h.clients[j] = h.clients[j], h.clients[i]
+	h.index[i], h.index[j] = h.index[j], h.index[i]
+}
+func (h *clientHeap) Push(x interface{}) { panic("unused") }
+func (h *clientHeap) Pop() interface{}   { panic("unused") }
+
+// RunClosedLoop drives the clients in global virtual-time order until the
+// horizon. Operations posted before the horizon run to completion, but only
+// completions at or before the horizon are counted, so Result.Throughput is a
+// steady-state estimate. The clients' Op closures may share state freely:
+// dispatch is strictly sequential in time order.
+func RunClosedLoop(clients []*Client, horizon Time) Result {
+	if horizon <= 0 {
+		panic("sim: horizon must be positive")
+	}
+	active := make([]*Client, 0, len(clients))
+	for i, c := range clients {
+		if c.Window < 1 {
+			panic(fmt.Sprintf("sim: client %d window must be >= 1", i))
+		}
+		if c.PostCost <= 0 {
+			panic(fmt.Sprintf("sim: client %d post cost must be > 0", i))
+		}
+		c.nextPost = 0
+		c.outstanding = c.outstanding[:0]
+		c.posted, c.completed = 0, 0
+		c.latencySum, c.latencyMax = 0, 0
+		c.latencyMin = MaxTime
+		c.latencies = nil
+		c.cpuBusy = 0
+		active = append(active, c)
+	}
+	h := &clientHeap{clients: active, index: make([]int, len(active))}
+	for i := range h.index {
+		h.index[i] = i
+	}
+	heap.Init(h)
+
+	for h.Len() > 0 {
+		c := h.clients[0]
+		t := c.nextAction()
+		if t >= horizon || (c.MaxOps > 0 && c.posted >= c.MaxOps) {
+			// Remove the root.
+			last := h.Len() - 1
+			h.Swap(0, last)
+			h.clients = h.clients[:last]
+			h.index = h.index[:last]
+			if h.Len() > 0 {
+				heap.Fix(h, 0)
+			}
+			continue
+		}
+		// Retire anything that has already completed by t.
+		for len(c.outstanding) > 0 && c.outstanding[0] <= t {
+			heap.Pop(&c.outstanding)
+		}
+		complete := c.Op(t)
+		if complete < t {
+			panic("sim: op completed before it was posted")
+		}
+		c.posted++
+		if complete <= horizon {
+			c.completed++
+			lat := complete - t
+			c.latencySum += lat
+			if lat > c.latencyMax {
+				c.latencyMax = lat
+			}
+			if lat < c.latencyMin {
+				c.latencyMin = lat
+			}
+			if c.RecordLatencies {
+				c.latencies = append(c.latencies, lat)
+			}
+		}
+		heap.Push(&c.outstanding, complete)
+		c.nextPost = t + c.PostCost
+		c.cpuBusy += c.PostCost
+		heap.Fix(h, 0)
+	}
+
+	res := Result{Horizon: horizon, Clients: make([]ClientStats, len(clients))}
+	for i, c := range clients {
+		s := ClientStats{
+			Posted:     c.posted,
+			Completed:  c.completed,
+			LatencyMax: c.latencyMax,
+			CPUBusy:    c.cpuBusy,
+		}
+		if c.completed > 0 {
+			s.LatencyAvg = c.latencySum / Duration(c.completed)
+			s.LatencyMin = c.latencyMin
+		}
+		if c.RecordLatencies {
+			sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
+			s.Latencies = c.latencies
+		}
+		res.Clients[i] = s
+		res.Completed += c.completed
+	}
+	return res
+}
+
+// RunOnce runs a single synchronous operation sequence: it executes op at
+// time start and returns its latency. It is a convenience for pure latency
+// probes that need no contention.
+func RunOnce(op Op, start Time) Duration {
+	end := op(start)
+	if end < start {
+		panic("sim: op completed before it was posted")
+	}
+	return end - start
+}

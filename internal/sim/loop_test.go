@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fixedOp returns an Op with a constant latency and no shared resources.
+func fixedOp(latency Duration) Op {
+	return func(post Time) Time { return post + latency }
+}
+
+func TestClosedLoopSynchronous(t *testing.T) {
+	// Window 1, 1us per op, 100ns post cost: one op completes every 1.1us...
+	// actually nextPost advances by PostCost but window gates at completion,
+	// so steady state is one op per max(PostCost, latency) = 1us.
+	c := &Client{Op: fixedOp(Microsecond), PostCost: 100, Window: 1}
+	res := RunClosedLoop([]*Client{c}, Millisecond)
+	want := int64(Millisecond / Microsecond) // ~1000
+	if res.Completed < want-2 || res.Completed > want {
+		t.Fatalf("completed=%d, want ~%d", res.Completed, want)
+	}
+	if got := res.LatencyAvg(); got != Microsecond {
+		t.Fatalf("latency=%v, want 1us", got)
+	}
+}
+
+func TestClosedLoopWindowPipelines(t *testing.T) {
+	// With a deep window, throughput is bound by PostCost, not latency.
+	c := &Client{Op: fixedOp(10 * Microsecond), PostCost: 100, Window: 1024}
+	res := RunClosedLoop([]*Client{c}, Millisecond)
+	want := int64(Millisecond / 100)
+	if res.Completed < want-200 || res.Completed > want {
+		t.Fatalf("completed=%d, want ~%d", res.Completed, want)
+	}
+}
+
+func TestClosedLoopSharedResourceBound(t *testing.T) {
+	// Four clients hammer one resource with 1us service: aggregate
+	// throughput must equal the resource rate (1 MOPS), not 4x.
+	r := NewResource("eu")
+	op := func(post Time) Time { return r.Delay(post, Microsecond) }
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		clients = append(clients, &Client{Op: op, PostCost: 50, Window: 4})
+	}
+	res := RunClosedLoop(clients, 10*Millisecond)
+	if got := res.Throughput(); got < 0.95e6 || got > 1.01e6 {
+		t.Fatalf("throughput=%v, want ~1e6", got)
+	}
+}
+
+func TestClosedLoopMaxOps(t *testing.T) {
+	c := &Client{Op: fixedOp(10), PostCost: 10, Window: 1, MaxOps: 7}
+	res := RunClosedLoop([]*Client{c}, Second)
+	if res.Completed != 7 {
+		t.Fatalf("completed=%d, want 7", res.Completed)
+	}
+	if res.Clients[0].Posted != 7 {
+		t.Fatalf("posted=%d, want 7", res.Clients[0].Posted)
+	}
+}
+
+func TestClosedLoopLatencyStats(t *testing.T) {
+	lat := Duration(0)
+	op := func(post Time) Time {
+		lat += 100
+		return post + lat
+	}
+	c := &Client{Op: op, PostCost: 10, Window: 1, MaxOps: 3}
+	res := RunClosedLoop([]*Client{c}, Second)
+	s := res.Clients[0]
+	if s.LatencyMin != 100 || s.LatencyMax != 300 || s.LatencyAvg != 200 {
+		t.Fatalf("latency stats min=%v avg=%v max=%v, want 100/200/300",
+			s.LatencyMin, s.LatencyAvg, s.LatencyMax)
+	}
+}
+
+func TestClosedLoopDeterminism(t *testing.T) {
+	run := func() int64 {
+		r := NewResource("eu")
+		rng := rand.New(rand.NewSource(7))
+		op := func(post Time) Time {
+			return r.Delay(post, Duration(100+rng.Intn(100)))
+		}
+		clients := []*Client{
+			{Op: op, PostCost: 30, Window: 8},
+			{Op: op, PostCost: 50, Window: 2},
+			{Op: op, PostCost: 70, Window: 4},
+		}
+		return RunClosedLoop(clients, Millisecond).Completed
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no ops completed")
+	}
+}
+
+func TestClosedLoopSharedState(t *testing.T) {
+	// Ops mutate shared state; sequential dispatch must keep it consistent.
+	counter := 0
+	op := func(post Time) Time {
+		counter++
+		return post + 100
+	}
+	clients := []*Client{
+		{Op: op, PostCost: 50, Window: 2},
+		{Op: op, PostCost: 50, Window: 2},
+	}
+	res := RunClosedLoop(clients, Millisecond)
+	posted := res.Clients[0].Posted + res.Clients[1].Posted
+	if int64(counter) != posted {
+		t.Fatalf("counter=%d, posted=%d", counter, posted)
+	}
+}
+
+func TestClosedLoopPanicsOnBadConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Client
+	}{
+		{"zero window", &Client{Op: fixedOp(1), PostCost: 1, Window: 0}},
+		{"zero post cost", &Client{Op: fixedOp(1), PostCost: 0, Window: 1}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			RunClosedLoop([]*Client{tc.c}, Millisecond)
+		}()
+	}
+}
+
+func TestClosedLoopPanicsOnTimeTravel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for op completing in the past")
+		}
+	}()
+	op := func(post Time) Time { return post - 1 }
+	RunClosedLoop([]*Client{{Op: op, PostCost: 1, Window: 1}}, Millisecond)
+}
+
+// Property: with a single shared FCFS resource, completed ops never exceed
+// the resource's theoretical capacity, regardless of client shapes.
+func TestClosedLoopCapacityProperty(t *testing.T) {
+	f := func(seed int64, nClients uint8, svc uint16) bool {
+		n := int(nClients%8) + 1
+		service := Duration(svc%1000) + 10
+		r := NewResource("eu")
+		op := func(post Time) Time { return r.Delay(post, service) }
+		rng := rand.New(rand.NewSource(seed))
+		var clients []*Client
+		for i := 0; i < n; i++ {
+			clients = append(clients, &Client{
+				Op:       op,
+				PostCost: Duration(rng.Intn(100)) + 1,
+				Window:   rng.Intn(16) + 1,
+			})
+		}
+		horizon := Millisecond
+		res := RunClosedLoop(clients, horizon)
+		capacity := int64(horizon/service) + 1
+		return res.Completed <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnce(t *testing.T) {
+	if got := RunOnce(fixedOp(1234), 100); got != 1234 {
+		t.Fatalf("latency=%v, want 1234", got)
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	res := Result{
+		Horizon:   Second,
+		Completed: 2_000_000,
+		Clients: []ClientStats{
+			{Completed: 1_000_000, LatencyAvg: 100, CPUBusy: 5},
+			{Completed: 1_000_000, LatencyAvg: 300, CPUBusy: 7},
+		},
+	}
+	if got := res.MOPS(); got != 2.0 {
+		t.Fatalf("MOPS=%v, want 2", got)
+	}
+	if got := res.LatencyAvg(); got != 200 {
+		t.Fatalf("LatencyAvg=%v, want 200", got)
+	}
+	if got := res.TotalCPUBusy(); got != 12 {
+		t.Fatalf("TotalCPUBusy=%v, want 12", got)
+	}
+}
+
+func TestRecordLatenciesPercentiles(t *testing.T) {
+	lat := Duration(0)
+	op := func(post Time) Time {
+		lat += 100
+		return post + lat
+	}
+	c := &Client{Op: op, PostCost: 10, Window: 1, MaxOps: 100, RecordLatencies: true}
+	res := RunClosedLoop([]*Client{c}, Second)
+	s := res.Clients[0]
+	if len(s.Latencies) != 100 {
+		t.Fatalf("recorded %d latencies", len(s.Latencies))
+	}
+	if s.Percentile(0) != 100 || s.Percentile(1) != 10000 {
+		t.Fatalf("extremes %v/%v", s.Percentile(0), s.Percentile(1))
+	}
+	p50 := s.Percentile(0.5)
+	if p50 < 4000 || p50 > 6000 {
+		t.Fatalf("p50=%v", p50)
+	}
+	// Out-of-range quantiles clamp.
+	if s.Percentile(-1) != s.Percentile(0) || s.Percentile(2) != s.Percentile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+	// Without the flag, nothing is recorded.
+	c2 := &Client{Op: fixedOp(100), PostCost: 10, Window: 1, MaxOps: 5}
+	res2 := RunClosedLoop([]*Client{c2}, Second)
+	if res2.Clients[0].Latencies != nil {
+		t.Fatal("latencies recorded without the flag")
+	}
+	if res2.Clients[0].Percentile(0.5) != 0 {
+		t.Fatal("percentile without records should be 0")
+	}
+}

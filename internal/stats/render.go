@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderCSV emits the figure as RFC-4180-ish CSV: a header row, then one row
+// per x value with one column per series (empty cell for absent points).
+func (f *Figure) RenderCSV(w io.Writer) {
+	cols := []string{csvEscape(f.XLabel)}
+	for _, s := range f.Series {
+		cols = append(cols, csvEscape(s.Label))
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, x := range f.xValues() {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, fmt.Sprintf("%g", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// RenderCSV emits the table as CSV.
+func (t *Table) RenderCSV(w io.Writer) {
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = csvEscape(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// xValues returns the sorted union of the series' x values.
+func (f *Figure) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// chartGlyphs mark the series in RenderChart, cycling when there are more
+// series than glyphs.
+var chartGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderChart draws a crude ASCII scatter of the figure: x values map to
+// columns in order (not to scale), y values scale linearly to the given
+// height. It exists so `rdmabench -format chart` gives an immediate visual
+// check of each figure's shape in a terminal.
+func (f *Figure) RenderChart(w io.Writer, height int) {
+	if height < 4 {
+		height = 4
+	}
+	xs := f.xValues()
+	if len(xs) == 0 || len(f.Series) == 0 {
+		fmt.Fprintf(w, "# %s (empty)\n", f.Title)
+		return
+	}
+	maxY := 0.0
+	for _, s := range f.Series {
+		if m := s.MaxY(); m > maxY {
+			maxY = m
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	const colW = 3
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xs)*colW))
+	}
+	for si, s := range f.Series {
+		g := chartGlyphs[si%len(chartGlyphs)]
+		for xi, x := range xs {
+			y, ok := s.YAt(x)
+			if !ok {
+				continue
+			}
+			row := int(math.Round(y / maxY * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			grid[height-1-row][xi*colW+1] = g
+		}
+	}
+	fmt.Fprintf(w, "# %s\n", f.Title)
+	fmt.Fprintf(w, "%10.3g |%s\n", maxY, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(w, "%10s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%10.3g |%s\n", 0.0, string(grid[height-1]))
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", len(xs)*colW))
+	// X tick labels (first, middle, last).
+	ticks := strings.Repeat(" ", len(xs)*colW)
+	fmt.Fprintf(w, "%10s  %s .. %s (%d x-values)\n", "", formatNum(xs[0]), formatNum(xs[len(xs)-1]), len(xs))
+	_ = ticks
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "%10s  %c %s\n", "", chartGlyphs[si%len(chartGlyphs)], s.Label)
+	}
+}

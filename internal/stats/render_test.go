@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	f := NewFigure("Fig T", "size", "MOPS")
+	f.Line("write").Add(2, 4.7)
+	f.Line("write").Add(4, 4.6)
+	f.Line("read").Add(2, 4.2)
+	return f
+}
+
+func TestRenderCSVFigure(t *testing.T) {
+	var b strings.Builder
+	sampleFigure().RenderCSV(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "size,write,read" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "2,4.7,4.2" {
+		t.Fatalf("row %q", lines[1])
+	}
+	// Absent point renders as an empty cell.
+	if lines[2] != "4,4.6," {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestRenderCSVEscaping(t *testing.T) {
+	f := NewFigure("t", `x,with "comma"`, "y")
+	f.Line(`a,b`).Add(1, 2)
+	var b strings.Builder
+	f.RenderCSV(&b)
+	head := strings.Split(b.String(), "\n")[0]
+	if !strings.Contains(head, `"x,with ""comma"""`) || !strings.Contains(head, `"a,b"`) {
+		t.Fatalf("escaping wrong: %q", head)
+	}
+}
+
+func TestRenderCSVTable(t *testing.T) {
+	tb := NewTable("t")
+	tb.Row("a", "b,c")
+	tb.Row("1", "2")
+	var b strings.Builder
+	tb.RenderCSV(&b)
+	want := "a,\"b,c\"\n1,2\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var b strings.Builder
+	sampleFigure().RenderChart(&b, 8)
+	out := b.String()
+	for _, want := range []string{"# Fig T", "write", "read", "*", "+", "2 .. 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Height clamps to a sane minimum, empty figures don't panic.
+	var b2 strings.Builder
+	NewFigure("empty", "x", "y").RenderChart(&b2, 1)
+	if !strings.Contains(b2.String(), "empty") {
+		t.Error("empty figure should render a placeholder")
+	}
+	var b3 strings.Builder
+	f := NewFigure("zero", "x", "y")
+	f.Line("z").Add(1, 0)
+	f.RenderChart(&b3, 2) // height clamp + zero maxY guard
+	if len(b3.String()) == 0 {
+		t.Error("zero-valued figure should still render")
+	}
+}
+
+func TestChartGlyphCycling(t *testing.T) {
+	f := NewFigure("many", "x", "y")
+	for i := 0; i < len(chartGlyphs)+2; i++ {
+		f.Line(strings.Repeat("s", i+1)).Add(1, float64(i+1))
+	}
+	var b strings.Builder
+	f.RenderChart(&b, 6)
+	if !strings.Contains(b.String(), string(chartGlyphs[0])) {
+		t.Error("glyphs should cycle without panicking")
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Label: "write"}
+	s.Add(1, 4.7)
+	s.Add(2, 4.2)
+	if y, ok := s.YAt(1); !ok || y != 4.7 {
+		t.Fatalf("YAt(1)=%v,%v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Fatal("YAt(3) should miss")
+	}
+	if s.MaxY() != 4.7 {
+		t.Fatalf("MaxY=%v", s.MaxY())
+	}
+	empty := &Series{}
+	if empty.MaxY() != 0 {
+		t.Fatal("empty MaxY should be 0")
+	}
+}
+
+func TestFigureLineReuse(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	a := f.Line("a")
+	b := f.Line("a")
+	if a != b {
+		t.Fatal("Line must return the same series for the same label")
+	}
+	f.Line("c")
+	if len(f.Series) != 2 {
+		t.Fatalf("series=%d", len(f.Series))
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("Fig X", "size", "MOPS")
+	f.Line("write").Add(2, 4.7)
+	f.Line("write").Add(4, 4.6)
+	f.Line("read").Add(2, 4.2)
+	var b strings.Builder
+	f.Render(&b)
+	out := b.String()
+	for _, want := range []string{"# Fig X", "size", "write", "read", "4.700", "4.200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// The read series has no point at x=4: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for absent point")
+	}
+}
+
+func TestFigureRenderSortsX(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	f.Line("s").Add(8, 1)
+	f.Line("s").Add(2, 2)
+	f.Line("s").Add(4, 3)
+	var b strings.Builder
+	f.Render(&b)
+	out := b.String()
+	i2, i4, i8 := strings.Index(out, "\n2 "), strings.Index(out, "\n4 "), strings.Index(out, "\n8 ")
+	if !(i2 < i4 && i4 < i8) {
+		t.Fatalf("x values not sorted:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table II")
+	tb.Row("Type", "Latency (ns)", "Bandwidth (GB/s)")
+	tb.Row("local socket", "92", "3.70")
+	tb.Row("remote socket", "162", "2.27")
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "# Table II") || !strings.Contains(out, "remote socket") {
+		t.Fatalf("table render wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio broken")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Fatal("division by zero must yield 0")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if formatNum(4) != "4" {
+		t.Fatalf("got %q", formatNum(4))
+	}
+	if formatNum(0.25) != "0.25" {
+		t.Fatalf("got %q", formatNum(0.25))
+	}
+}

@@ -1,0 +1,90 @@
+package verbs
+
+import (
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+)
+
+// Host-side microbenchmarks: simulated operations executed per host second.
+
+func benchEnv(b *testing.B) *pairEnv {
+	b.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctxA := NewContext(cl.Machine(0))
+	ctxB := NewContext(cl.Machine(1))
+	qpA, qpB, err := Connect(ctxA, 1, ctxB, 1, RC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mrA := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	mrB := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+	return &pairEnv{cl: cl, ctxA: ctxA, ctxB: ctxB, qpA: qpA, qpB: qpB, mrA: mrA, mrB: mrB}
+}
+
+func BenchmarkPostSendWrite64(b *testing.B) {
+	e := benchEnv(b)
+	wr := &SendWR{
+		Opcode:     OpWrite,
+		SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 64, MR: e.mrA}},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+	}
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c, err := e.qpA.PostSend(now, wr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = c.Done
+	}
+}
+
+func BenchmarkPostSendFetchAdd(b *testing.B) {
+	e := benchEnv(b)
+	wr := &SendWR{
+		Opcode:     OpFetchAdd,
+		SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 8, MR: e.mrA}},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+		CompareAdd: 1,
+	}
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c, err := e.qpA.PostSend(now, wr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = c.Done
+	}
+}
+
+func BenchmarkPostSendList16(b *testing.B) {
+	e := benchEnv(b)
+	wrs := make([]*SendWR, 16)
+	for i := range wrs {
+		wrs[i] = &SendWR{
+			Opcode:     OpWrite,
+			SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 64, MR: e.mrA}},
+			RemoteAddr: e.mrB.Addr(),
+			RemoteKey:  e.mrB.RKey(),
+		}
+	}
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		comps, err := e.qpA.PostSendList(now, wrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = comps[len(comps)-1].Done
+	}
+}

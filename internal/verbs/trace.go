@@ -1,0 +1,145 @@
+package verbs
+
+import (
+	"fmt"
+	"io"
+
+	"rdmasem/internal/sim"
+)
+
+// Stage identifies one step of an operation's path through the model.
+type Stage int
+
+// Pipeline stages, in path order.
+const (
+	StagePosted     Stage = iota // doorbell rung (MMIO landed)
+	StageWQEFetched              // WQE DMA'd onto the NIC
+	StageGathered                // payload gather DMA finished
+	StagePipelined               // per-QP processing pipeline cleared
+	StageExecuted                // port execution unit cleared
+	StageArrived                 // last byte at the responder NIC
+	StageResponded               // responder processing (or atomic unit) done
+	StageCompleted               // CQE visible at the requester
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StagePosted:
+		return "posted"
+	case StageWQEFetched:
+		return "wqe-fetched"
+	case StageGathered:
+		return "gathered"
+	case StagePipelined:
+		return "qp-pipelined"
+	case StageExecuted:
+		return "executed"
+	case StageArrived:
+		return "arrived"
+	case StageResponded:
+		return "responded"
+	default:
+		return "completed"
+	}
+}
+
+// TraceEvent is one timestamped stage completion.
+type TraceEvent struct {
+	Stage Stage
+	At    sim.Time
+}
+
+// Trace records the stage timeline of one work request. Obtain one with
+// QP.PostSendTraced; it is the tool behind the paper's Section III-D
+// decomposition T(RNIC->Socket) + T(Socket->Memory) + T(Network).
+type Trace struct {
+	Start  sim.Time
+	Opcode Opcode
+	Events []TraceEvent
+}
+
+func (t *Trace) mark(stage Stage, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{Stage: stage, At: at})
+}
+
+// At returns the completion time of a stage, or false if it never ran (e.g.
+// no gather on an inline write).
+func (t *Trace) At(stage Stage) (sim.Time, bool) {
+	for _, e := range t.Events {
+		if e.Stage == stage {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// Total returns the end-to-end latency.
+func (t *Trace) Total() sim.Duration {
+	if end, ok := t.At(StageCompleted); ok {
+		return end - t.Start
+	}
+	return 0
+}
+
+// Breakdown is the paper's Section III-D latency decomposition.
+type Breakdown struct {
+	RNICToSocket   sim.Duration // posting + WQE fetch + gather (host <-> NIC)
+	Network        sim.Duration // NIC processing + wire, both directions
+	SocketToMemory sim.Duration // responder-side handling and DMA
+	Completion     sim.Duration // CQE generation
+}
+
+// Decompose groups the stage timeline into the paper's three terms (plus
+// CQE cost). Stages that did not run contribute zero.
+func (t *Trace) Decompose() Breakdown {
+	prev := t.Start
+	step := func(stage Stage) sim.Duration {
+		at, ok := t.At(stage)
+		if !ok || at < prev {
+			return 0
+		}
+		d := at - prev
+		prev = at
+		return d
+	}
+	var b Breakdown
+	b.RNICToSocket += step(StagePosted)
+	b.RNICToSocket += step(StageWQEFetched)
+	b.RNICToSocket += step(StageGathered)
+	b.Network += step(StagePipelined)
+	b.Network += step(StageExecuted)
+	b.Network += step(StageArrived)
+	b.SocketToMemory += step(StageResponded)
+	b.Completion += step(StageCompleted)
+	return b
+}
+
+// Render prints the timeline with per-stage deltas.
+func (t *Trace) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s trace (total %v)\n", t.Opcode, t.Total())
+	prev := t.Start
+	for _, e := range t.Events {
+		fmt.Fprintf(w, "  %-13s +%-8v @%v\n", e.Stage, e.At-prev, e.At)
+		prev = e.At
+	}
+}
+
+// PostSendTraced posts one work request and additionally returns its stage
+// timeline. Tracing does not change timing.
+func (q *QP) PostSendTraced(now sim.Time, wr *SendWR) (Completion, *Trace, error) {
+	q.trace = &Trace{Start: now, Opcode: wr.Opcode}
+	defer func() { q.trace = nil }()
+	comp, err := q.PostSend(now, wr)
+	if err != nil {
+		return Completion{}, nil, err
+	}
+	tr := q.activeTrace()
+	tr.mark(StageCompleted, comp.Done)
+	return comp, tr, nil
+}
+
+// activeTrace returns the trace being recorded, if any.
+func (q *QP) activeTrace() *Trace { return q.trace }

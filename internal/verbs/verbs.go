@@ -1,0 +1,145 @@
+// Package verbs exposes an ibverbs-flavoured programming surface — contexts,
+// memory regions, queue pairs, scatter/gather work requests, completion
+// queues — over the simulated machines of internal/cluster.
+//
+// The paper restricts its study to Reliable Connection (RC) transport, the
+// only mode supporting RDMA READ and atomics; this package enforces the same
+// transport matrix (Section II-A): RC carries everything, UC carries WRITE
+// with fire-and-forget completion, UD carries datagrams (UDQP), and illegal
+// verb/transport combinations fail with typed errors.
+//
+// Data movement is real (bytes are copied between machine memory spaces);
+// time is virtual (the request walks the NIC, PCIe, wire and responder
+// resources of the discrete-event model).
+package verbs
+
+import (
+	"errors"
+	"fmt"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+)
+
+// Transport is the RDMA transport type of a QP.
+type Transport int
+
+// Transport types. Only RC is usable for memory-semantic verbs, matching the
+// paper's Section II-A.
+const (
+	RC Transport = iota // reliable connection
+	UC                  // unreliable connection (WRITE only)
+	UD                  // unreliable datagram (SEND only)
+)
+
+func (t Transport) String() string {
+	switch t {
+	case RC:
+		return "RC"
+	case UC:
+		return "UC"
+	default:
+		return "UD"
+	}
+}
+
+// MaxInline is the largest payload that can ride inside the WQE itself
+// (ConnectX-3's effective inline threshold).
+const MaxInline = 188
+
+// CQECost is the latency of generating and DMAing one completion entry.
+const CQECost sim.Duration = 50
+
+// Typed errors surfaced by the verbs layer.
+var (
+	ErrBadTransport = errors.New("verbs: operation not supported on this transport")
+	ErrNotConnected = errors.New("verbs: queue pair is not connected")
+	ErrBadSGL       = errors.New("verbs: invalid scatter/gather list")
+	ErrMRBounds     = errors.New("verbs: access outside memory region")
+	ErrBadRKey      = errors.New("verbs: unknown remote key")
+	ErrRNR          = errors.New("verbs: receiver not ready (no posted receive)")
+	ErrAtomicSize   = errors.New("verbs: atomic operations are 8 bytes")
+)
+
+// Context is an opened device on one machine: the registry of MRs and the
+// factory for QPs.
+type Context struct {
+	machine *cluster.Machine
+	mrs     map[uint64]*MR
+	nextMR  uint64
+	nextQP  *uint64 // shared cluster-wide QP id counter
+}
+
+var qpCounter uint64
+
+// NewContext opens the (single) RNIC of a machine.
+func NewContext(m *cluster.Machine) *Context {
+	return &Context{machine: m, mrs: make(map[uint64]*MR), nextQP: &qpCounter}
+}
+
+// Machine returns the underlying host.
+func (c *Context) Machine() *cluster.Machine { return c.machine }
+
+// MR is a registered memory region. Its RKey grants remote access.
+type MR struct {
+	id     uint64
+	ctx    *Context
+	region *mem.Region
+}
+
+// RegisterMR registers a previously allocated region for RDMA access.
+func (c *Context) RegisterMR(r *mem.Region) (*MR, error) {
+	if r == nil {
+		return nil, fmt.Errorf("verbs: nil region")
+	}
+	c.nextMR++
+	mr := &MR{id: c.nextMR, ctx: c, region: r}
+	c.mrs[mr.id] = mr
+	return mr, nil
+}
+
+// MustRegisterMR is RegisterMR that panics on failure (test/benchmark setup).
+func (c *Context) MustRegisterMR(r *mem.Region) *MR {
+	mr, err := c.RegisterMR(r)
+	if err != nil {
+		panic(err)
+	}
+	return mr
+}
+
+// DeregisterMR removes the region from the registry; outstanding RKeys stop
+// resolving.
+func (c *Context) DeregisterMR(mr *MR) {
+	delete(c.mrs, mr.id)
+}
+
+// LookupMR resolves an RKey on this context.
+func (c *Context) LookupMR(key RKey) (*MR, error) {
+	mr, ok := c.mrs[uint64(key)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadRKey, key)
+	}
+	return mr, nil
+}
+
+// RKey is the token a remote peer presents to access an MR.
+type RKey uint64
+
+// RKey returns the region's remote access key.
+func (mr *MR) RKey() RKey { return RKey(mr.id) }
+
+// Region returns the registered memory region.
+func (mr *MR) Region() *mem.Region { return mr.region }
+
+// Addr returns the region's base address (convenience).
+func (mr *MR) Addr() mem.Addr { return mr.region.Addr() }
+
+// contains validates an access range against the region.
+func (mr *MR) contains(addr mem.Addr, size int) error {
+	if !mr.region.Contains(addr, size) {
+		return fmt.Errorf("%w: [%#x,+%d) vs MR [%#x,+%d)",
+			ErrMRBounds, addr, size, mr.region.Addr(), mr.region.Size())
+	}
+	return nil
+}

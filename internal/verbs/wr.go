@@ -1,0 +1,140 @@
+package verbs
+
+import (
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+)
+
+// Opcode identifies the verb of a work request.
+type Opcode int
+
+// Work request opcodes. The first four are the memory-semantic (one-sided)
+// verbs the paper studies; Send is the channel-semantic verb used by the
+// RPC baselines.
+const (
+	OpWrite Opcode = iota
+	OpRead
+	OpCompSwap
+	OpFetchAdd
+	OpSend
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpWrite:
+		return "WRITE"
+	case OpRead:
+		return "READ"
+	case OpCompSwap:
+		return "CMP_SWAP"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	default:
+		return "SEND"
+	}
+}
+
+// OneSided reports whether the opcode is a memory-semantic verb.
+func (o Opcode) OneSided() bool { return o != OpSend }
+
+// SGE is one scatter/gather element: a slice of a local MR.
+type SGE struct {
+	Addr   mem.Addr
+	Length int
+	MR     *MR
+}
+
+// SendWR is a work request posted to a QP's send queue. For WRITE, the SGL
+// is gathered and written contiguously at RemoteAddr (the SGL mechanism of
+// Section III-A); for READ, RemoteAddr is read and scattered into the SGL;
+// for atomics the SGL names the 8-byte local buffer receiving the old value.
+type SendWR struct {
+	ID         uint64 // caller-chosen work request id, echoed in the CQE
+	Opcode     Opcode
+	SGL        []SGE
+	RemoteAddr mem.Addr
+	RemoteKey  RKey
+	Inline     bool // payload carried in the WQE (WRITE/SEND, <= MaxInline)
+	Unsignaled bool // suppress the CQE (selective signaling; Herd-style)
+
+	// Atomic operands.
+	CompareAdd uint64 // compare value (CAS) or addend (FAA)
+	Swap       uint64 // swap value (CAS)
+}
+
+// TotalLength sums the SGL lengths.
+func (wr *SendWR) TotalLength() int {
+	n := 0
+	for _, s := range wr.SGL {
+		n += s.Length
+	}
+	return n
+}
+
+// RecvWR is a posted receive buffer for SEND traffic.
+type RecvWR struct {
+	ID  uint64
+	SGE SGE
+}
+
+// CQE is one completion entry.
+type CQE struct {
+	WRID   uint64
+	Opcode Opcode
+	Time   sim.Time // when the completion became visible
+	Bytes  int
+	// OldValue carries the pre-operation value for atomics and the
+	// immediate for receives.
+	OldValue uint64
+}
+
+// CQ is a completion queue: entries accumulate as operations finish in
+// virtual time and are drained with Poll. Hardware delivers CQEs in order
+// within a queue, so push clamps each entry's visibility time to be no
+// earlier than its predecessor's.
+type CQ struct {
+	entries  []CQE
+	lastTime sim.Time
+}
+
+// NewCQ returns an empty completion queue.
+func NewCQ() *CQ { return &CQ{} }
+
+// push appends an entry, enforcing in-order visibility, and returns the
+// entry as recorded.
+func (q *CQ) push(e CQE) CQE {
+	if e.Time < q.lastTime {
+		e.Time = q.lastTime
+	}
+	q.lastTime = e.Time
+	q.entries = append(q.entries, e)
+	return e
+}
+
+// Poll removes and returns up to max entries whose completion time is at or
+// before now. Entries complete in time order within a QP (RC ordering).
+func (q *CQ) Poll(now sim.Time, max int) []CQE {
+	if max <= 0 {
+		return nil
+	}
+	n := 0
+	for n < len(q.entries) && n < max && q.entries[n].Time <= now {
+		n++
+	}
+	out := make([]CQE, n)
+	copy(out, q.entries[:n])
+	q.entries = q.entries[n:]
+	return out
+}
+
+// Len reports the number of pending entries (including future ones).
+func (q *CQ) Len() int { return len(q.entries) }
+
+// Completion describes the outcome of one posted work request.
+type Completion struct {
+	WRID     uint64
+	Opcode   Opcode
+	Done     sim.Time // CQE visibility time at the requester
+	Bytes    int
+	OldValue uint64 // atomics: value before the operation
+}

@@ -1,0 +1,185 @@
+// Package workload provides deterministic, seedable workload generators: the
+// YCSB-style zipfian key distribution the paper uses for the disaggregated
+// hashtable (parameter 0.99), uniform keys, key-value records, and tuple
+// relations for the distributed join.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf generates keys in [0, n) with the YCSB zipfian distribution
+// (theta-parameterized, matching "Zipf distribution with parameter 0.99" in
+// Section IV-B), scattered over the key space so that hot keys are not
+// clustered at low indices.
+type Zipf struct {
+	rng      *rand.Rand
+	n        uint64
+	theta    float64
+	alpha    float64
+	zetan    float64
+	eta      float64
+	zeta2    float64
+	scramble bool
+}
+
+// NewZipf creates a zipfian generator over [0, n) with the given theta
+// (0 < theta < 1; YCSB uses 0.99) and seed. Keys are scrambled with a
+// Fibonacci hash so the hot set spreads across the key space.
+func NewZipf(n uint64, theta float64, seed int64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipf needs a positive key space")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta must be in (0,1), got %v", theta)
+	}
+	z := &Zipf{
+		rng:      rand.New(rand.NewSource(seed)),
+		n:        n,
+		theta:    theta,
+		scramble: true,
+	}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z, nil
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// SetScramble toggles key scrambling (rank order when off: key 0 hottest).
+func (z *Zipf) SetScramble(on bool) { z.scramble = on }
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	if !z.scramble {
+		return rank
+	}
+	return (rank * 0x9E3779B97F4A7C15) % z.n
+}
+
+// HotSet returns the m hottest keys (after scrambling), which the hashtable
+// uses to seed its hot entry area during warm-up.
+func (z *Zipf) HotSet(m int) []uint64 {
+	if m <= 0 {
+		return nil
+	}
+	if uint64(m) > z.n {
+		m = int(z.n)
+	}
+	out := make([]uint64, m)
+	for i := range out {
+		rank := uint64(i)
+		if z.scramble {
+			out[i] = (rank * 0x9E3779B97F4A7C15) % z.n
+		} else {
+			out[i] = rank
+		}
+	}
+	return out
+}
+
+// Uniform generates uniformly distributed keys in [0, n).
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform creates a uniform generator over [0, n).
+func NewUniform(n uint64, seed int64) (*Uniform, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: uniform needs a positive key space")
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}, nil
+}
+
+// Next draws the next key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// KV is one key-value record.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// FillValue writes a recognizable, key-derived pattern into buf so data
+// integrity can be checked end to end.
+func FillValue(buf []byte, key uint64) {
+	for i := range buf {
+		buf[i] = byte(key>>(8*(i%8))) ^ byte(i)
+	}
+}
+
+// CheckValue reports whether buf carries the pattern FillValue(key) wrote.
+func CheckValue(buf []byte, key uint64) bool {
+	for i := range buf {
+		if buf[i] != byte(key>>(8*(i%8)))^byte(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is one row of a join relation.
+type Tuple struct {
+	Key     uint64
+	Payload uint64
+}
+
+// Relation generates a relation of n tuples whose keys are drawn uniformly
+// from [0, keySpace), deterministic in the seed.
+func Relation(n int, keySpace uint64, seed int64) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = Tuple{
+			Key:     uint64(rng.Int63n(int64(keySpace))),
+			Payload: rng.Uint64(),
+		}
+	}
+	return out
+}
+
+// Stream hands out a deterministic KV stream with the given key generator
+// and value size.
+type Stream struct {
+	gen       interface{ Next() uint64 }
+	valueSize int
+}
+
+// NewStream builds a stream from any key generator.
+func NewStream(gen interface{ Next() uint64 }, valueSize int) *Stream {
+	return &Stream{gen: gen, valueSize: valueSize}
+}
+
+// Next produces the next record; the value is key-derived for verification.
+func (s *Stream) Next() KV {
+	k := s.gen.Next()
+	v := make([]byte, s.valueSize)
+	FillValue(v, k)
+	return KV{Key: k, Value: v}
+}

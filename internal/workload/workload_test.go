@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 0.99, 1); err == nil {
+		t.Error("zero key space must fail")
+	}
+	if _, err := NewZipf(100, 0, 1); err == nil {
+		t.Error("theta=0 must fail")
+	}
+	if _, err := NewZipf(100, 1.0, 1); err == nil {
+		t.Error("theta=1 must fail")
+	}
+}
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	mk := func() *Zipf {
+		z, err := NewZipf(10000, 0.99, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	}
+	z1, z2 := mk(), mk()
+	for i := 0; i < 10000; i++ {
+		a, b := z1.Next(), z2.Next()
+		if a != b {
+			t.Fatal("zipf is not deterministic in seed")
+		}
+		if a >= 10000 {
+			t.Fatalf("key %d out of range", a)
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	z, err := NewZipf(1<<20, 0.99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// With theta=0.99 over 1M keys, the hottest key should carry several
+	// percent of the mass, and the distinct-key count should be far below
+	// the draw count.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/draws < 0.02 {
+		t.Errorf("hottest key carries %.4f of mass, want > 2%%", float64(max)/draws)
+	}
+	if len(counts) > draws/2 {
+		t.Errorf("%d distinct keys in %d draws: not skewed", len(counts), draws)
+	}
+}
+
+func TestZipfHotSetCoversMass(t *testing.T) {
+	z, err := NewZipf(1<<16, 0.99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := map[uint64]bool{}
+	for _, k := range z.HotSet(1 << 12) { // hottest 1/16 of the space
+		hot[k] = true
+	}
+	inHot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if hot[z.Next()] {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / draws; frac < 0.5 {
+		t.Errorf("hot set covers %.2f of accesses, want > 0.5 (skew)", frac)
+	}
+}
+
+func TestZipfHotSetEdgeCases(t *testing.T) {
+	z, _ := NewZipf(8, 0.5, 1)
+	if got := z.HotSet(0); got != nil {
+		t.Error("HotSet(0) should be nil")
+	}
+	if got := z.HotSet(100); len(got) != 8 {
+		t.Errorf("HotSet clamps to key space, got %d", len(got))
+	}
+	z.SetScramble(false)
+	hs := z.HotSet(3)
+	if hs[0] != 0 || hs[1] != 1 || hs[2] != 2 {
+		t.Errorf("unscrambled hot set should be rank order, got %v", hs)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if _, err := NewUniform(0, 1); err == nil {
+		t.Error("zero key space must fail")
+	}
+	u, err := NewUniform(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		k := u.Next()
+		if k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Roughly uniform: no key should carry more than 1% of the mass.
+	for k, c := range counts {
+		if c > 1000 {
+			t.Fatalf("key %d drawn %d times: not uniform", k, c)
+		}
+	}
+}
+
+// Property: FillValue/CheckValue round-trip, and corruption is detected.
+func TestValuePatternProperty(t *testing.T) {
+	f := func(key uint64, size uint8, flip uint8) bool {
+		n := int(size%64) + 1
+		buf := make([]byte, n)
+		FillValue(buf, key)
+		if !CheckValue(buf, key) {
+			return false
+		}
+		buf[int(flip)%n] ^= 0xFF
+		return !CheckValue(buf, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationDeterministic(t *testing.T) {
+	a := Relation(1000, 1<<20, 9)
+	b := Relation(1000, 1<<20, 9)
+	c := Relation(1000, 1<<20, 10)
+	if len(a) != 1000 {
+		t.Fatalf("len=%d", len(a))
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+		if a[i].Key >= 1<<20 {
+			t.Fatalf("key out of range: %d", a[i].Key)
+		}
+	}
+	if !same {
+		t.Error("same seed must give same relation")
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestStream(t *testing.T) {
+	u, _ := NewUniform(100, 1)
+	s := NewStream(u, 64)
+	for i := 0; i < 100; i++ {
+		kv := s.Next()
+		if len(kv.Value) != 64 {
+			t.Fatalf("value size %d", len(kv.Value))
+		}
+		if !CheckValue(kv.Value, kv.Key) {
+			t.Fatal("stream value does not match its key pattern")
+		}
+	}
+}
+
+func TestZetaSanity(t *testing.T) {
+	// zeta(n, theta) is increasing in n and finite.
+	z1 := zeta(10, 0.99)
+	z2 := zeta(100, 0.99)
+	if !(z2 > z1) || math.IsInf(z2, 0) || math.IsNaN(z2) {
+		t.Fatalf("zeta behaves badly: %v %v", z1, z2)
+	}
+}
