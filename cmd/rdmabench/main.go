@@ -6,9 +6,12 @@
 //	rdmabench -list
 //	rdmabench -exp fig3
 //	rdmabench -exp all -scale 0.25
+//	rdmabench -exp all -parallel 4
 //
 // Scale 1.0 runs the full sweeps (minutes for the join figures); smaller
-// scales shrink horizons and input sizes proportionally.
+// scales shrink horizons and input sizes proportionally. -parallel runs
+// each experiment's independent sweep points on a worker pool; results
+// (and rendered reports) are identical at any width.
 package main
 
 import (
@@ -24,8 +27,11 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
 	scale := flag.Float64("scale", 1.0, "sweep scale in (0,1]")
 	format := flag.String("format", "text", "output format: text, csv, chart")
+	parallel := flag.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
+
+	bench.SetParallelism(*parallel)
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

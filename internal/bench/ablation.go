@@ -33,17 +33,18 @@ func MRScale(scale float64) (*Report, error) {
 	_ = scale
 	tb := stats.NewTable("MR scalability: 32B write latency vs registered MR count")
 	tb.Row("MRs", "latency (us)", "vs 16 MRs")
-	var base float64
-	for _, nMR := range []int{16, 64, 160, 512} {
+	nMRs := []int{16, 64, 160, 512}
+	lats, err := points(len(nMRs), func(pi int) (float64, error) {
+		nMR := nMRs[pi]
 		env, err := newPair(1 << 22)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		mrs := make([]*verbs.MR, nMR)
 		for i := range mrs {
 			r, err := env.cl.Machine(1).Alloc(1, 4096, 0)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			mrs[i] = env.ctxB.MustRegisterMR(r)
 		}
@@ -61,17 +62,21 @@ func MRScale(scale float64) (*Report, error) {
 				RemoteKey:  target.RKey(),
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if i >= probes/2 { // skip warmup
 				sum += c.Done - now
 			}
 			now = c.Done + sim.Microsecond
 		}
-		lat := float64(sum) / float64(probes/2) / 1e3
-		if base == 0 {
-			base = lat
-		}
+		return float64(sum) / float64(probes/2) / 1e3, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := lats[0]
+	for i, nMR := range nMRs {
+		lat := lats[i]
 		tb.Row(fmt.Sprintf("%d", nMR), fmt.Sprintf("%.2f", lat), fmt.Sprintf("%+.0f%%", (lat/base-1)*100))
 	}
 	return &Report{
@@ -87,10 +92,12 @@ func MRScale(scale float64) (*Report, error) {
 func QPScale(scale float64) (*Report, error) {
 	fig := stats.NewFigure("QP scalability: aggregate 32B write throughput vs client count", "clients", "throughput (MOPS)")
 	h := horizon(scale, 5*sim.Millisecond)
-	for _, clients := range []int{40, 80, 120, 160, 240} {
+	counts := []int{40, 80, 120, 160, 240}
+	ms, err := points(len(counts), func(i int) (float64, error) {
+		clients := counts[i]
 		env, err := newPair(1 << 22)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var cs []*sim.Client
 		for c := 0; c < clients; c++ {
@@ -113,8 +120,13 @@ func QPScale(scale float64) (*Report, error) {
 				},
 			})
 		}
-		res := sim.RunClosedLoop(cs, h)
-		fig.Line("aggregate").Add(float64(clients), res.MOPS())
+		return sim.RunClosedLoop(cs, h).MOPS(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, clients := range counts {
+		fig.Line("aggregate").Add(float64(clients), ms[i])
 	}
 	return &Report{
 		ID:      "qpscale",
@@ -129,15 +141,18 @@ func QPScale(scale float64) (*Report, error) {
 func AblationTranslationCache(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Ablation: translation cache entries vs 32B random write throughput (64MB region)", "entries", "throughput (MOPS)")
 	h := horizon(scale, 5*sim.Millisecond)
-	for _, entries := range []int{0, 256, 1024, 4096, 16384} {
+	entriesList := []int{0, 256, 1024, 4096, 16384}
+	ms, err := points(len(entriesList), func(i int) (float64, error) {
 		cfg := cluster.DefaultConfig()
 		cfg.Machines = 2
-		cfg.NIC.TranslationEntries = entries
-		m, err := customPairThroughput(cfg, 64<<20, h)
-		if err != nil {
-			return nil, err
-		}
-		fig.Line("rand-rand").Add(float64(entries), m)
+		cfg.NIC.TranslationEntries = entriesList[i]
+		return customPairThroughput(cfg, 64<<20, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, entries := range entriesList {
+		fig.Line("rand-rand").Add(float64(entries), ms[i])
 	}
 	return &Report{
 		ID:      "ablation-xlate",
@@ -151,15 +166,18 @@ func AblationTranslationCache(scale float64) (*Report, error) {
 func AblationMMIOCost(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Ablation: MMIO cost vs small-write latency", "mmio(ns)", "latency (us)")
 	_ = scale
-	for _, mmio := range []int{100, 250, 500, 1000} {
+	mmios := []int{100, 250, 500, 1000}
+	lats, err := points(len(mmios), func(i int) (float64, error) {
 		cfg := cluster.DefaultConfig()
 		cfg.Machines = 2
-		cfg.NIC.MMIOCost = sim.Duration(mmio)
-		lat, err := customPairLatency(cfg)
-		if err != nil {
-			return nil, err
-		}
-		fig.Line("32B write").Add(float64(mmio), lat)
+		cfg.NIC.MMIOCost = sim.Duration(mmios[i])
+		return customPairLatency(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mmio := range mmios {
+		fig.Line("32B write").Add(float64(mmio), lats[i])
 	}
 	return &Report{
 		ID:      "ablation-mmio",
@@ -172,19 +190,26 @@ func AblationMMIOCost(scale float64) (*Report, error) {
 func AblationQPILatency(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Ablation: QPI hop latency vs placement penalty", "qpi(ns)", "worst/best latency ratio")
 	_ = scale
-	for _, qpi := range []int{35, 70, 140, 280} {
+	qpis := []int{35, 70, 140, 280}
+	ratios, err := points(len(qpis), func(i int) (float64, error) {
 		cfg := cluster.DefaultConfig()
 		cfg.Machines = 2
-		cfg.Topo.QPILatency = sim.Duration(qpi)
+		cfg.Topo.QPILatency = sim.Duration(qpis[i])
 		best, err := customPlacementLatency(cfg, false)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		worst, err := customPlacementLatency(cfg, true)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		fig.Line("write").Add(float64(qpi), worst/best)
+		return worst / best, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, qpi := range qpis {
+		fig.Line("write").Add(float64(qpi), ratios[i])
 	}
 	return &Report{
 		ID:      "ablation-qpi",

@@ -18,7 +18,7 @@ func Breakdown(scale float64) (*Report, error) {
 	_ = scale
 	tb := stats.NewTable("III-D latency decomposition of a warm 64B WRITE (ns)")
 	tb.Row("placement", "RNIC->Socket", "Network", "Socket->Memory", "CQE", "total")
-	for _, p := range []struct {
+	placements := []struct {
 		label        string
 		core         topo.SocketID
 		lSock, rSock topo.SocketID
@@ -27,14 +27,17 @@ func Breakdown(scale float64) (*Report, error) {
 		{"own core, alt local buffer", 1, 0, 1},
 		{"alt core, own mem", 0, 1, 1},
 		{"alt everything", 0, 0, 0},
-	} {
+	}
+	type row struct{ rnic, net, s2m, cqe, total int64 }
+	rows, err := points(len(placements), func(i int) (row, error) {
+		p := placements[i]
 		env, err := newPair(1 << 22)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		qp, _, err := verbs.Connect(env.ctxA, 1, env.ctxB, 1, verbs.RC)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		qp.BindCore(p.core)
 		lbuf := env.ctxA.MustRegisterMR(env.cl.Machine(0).MustAlloc(p.lSock, 4096, 0))
@@ -46,19 +49,26 @@ func Breakdown(scale float64) (*Report, error) {
 			RemoteKey:  rbuf.RKey(),
 		}
 		if _, err := qp.PostSend(0, wr); err != nil { // warm metadata caches
-			return nil, err
+			return row{}, err
 		}
 		_, tr, err := qp.PostSendTraced(100*sim.Microsecond, wr)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		b := tr.Decompose()
+		return row{int64(b.RNICToSocket), int64(b.Network), int64(b.SocketToMemory), int64(b.Completion), int64(tr.Total())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range placements {
+		r := rows[i]
 		tb.Row(p.label,
-			fmt.Sprintf("%d", int64(b.RNICToSocket)),
-			fmt.Sprintf("%d", int64(b.Network)),
-			fmt.Sprintf("%d", int64(b.SocketToMemory)),
-			fmt.Sprintf("%d", int64(b.Completion)),
-			fmt.Sprintf("%d", int64(tr.Total())))
+			fmt.Sprintf("%d", r.rnic),
+			fmt.Sprintf("%d", r.net),
+			fmt.Sprintf("%d", r.s2m),
+			fmt.Sprintf("%d", r.cqe),
+			fmt.Sprintf("%d", r.total))
 	}
 	return &Report{
 		ID:     "breakdown",

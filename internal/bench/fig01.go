@@ -21,53 +21,63 @@ func Fig01PacketThrottling(scale float64) (*Report, error) {
 	thrFig := stats.NewFigure("Fig 1 (right): throughput vs payload size", "size(B)", "throughput (MOPS)")
 	h := horizon(scale, 20*sim.Millisecond)
 
-	for _, op := range []verbs.Opcode{verbs.OpWrite, verbs.OpRead} {
+	ops := []verbs.Opcode{verbs.OpWrite, verbs.OpRead}
+	type point struct{ lat, mops float64 }
+	res, err := points(len(ops)*len(fig1Sizes), func(i int) (point, error) {
+		op, size := ops[i/len(fig1Sizes)], fig1Sizes[i%len(fig1Sizes)]
+		env, err := newPair(1 << 22)
+		if err != nil {
+			return point{}, err
+		}
+		wr := &verbs.SendWR{
+			Opcode:     op,
+			SGL:        []verbs.SGE{{Addr: env.mrA.Addr(), Length: size, MR: env.mrA}},
+			RemoteAddr: env.mrB.Addr(),
+			RemoteKey:  env.mrB.RKey(),
+		}
+		// Warm metadata caches, then measure a synchronous latency.
+		if _, err := env.qpA.PostSend(0, wr); err != nil {
+			return point{}, err
+		}
+		lat := sim.RunOnce(func(t sim.Time) sim.Time {
+			c, err := env.qpA.PostSend(t, wr)
+			if err != nil {
+				panic(err)
+			}
+			return c.Done
+		}, sim.Millisecond)
+
+		// Fresh environment for the closed-loop throughput run: reusing
+		// the latency env would leak queued resource history into it.
+		env, err = newPair(1 << 22)
+		if err != nil {
+			return point{}, err
+		}
+		wr.SGL[0].MR = env.mrA
+		wr.SGL[0].Addr = env.mrA.Addr()
+		wr.RemoteAddr = env.mrB.Addr()
+		wr.RemoteKey = env.mrB.RKey()
+		thr := measure(func(t sim.Time) sim.Time {
+			c, err := env.qpA.PostSend(t, wr)
+			if err != nil {
+				panic(err)
+			}
+			return c.Done
+		}, 16, 150, h)
+		return point{lat: lat.Micros(), mops: thr.MOPS()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for oi, op := range ops {
 		name := "Write"
 		if op == verbs.OpRead {
 			name = "Read"
 		}
-		for _, size := range fig1Sizes {
-			env, err := newPair(1 << 22)
-			if err != nil {
-				return nil, err
-			}
-			wr := &verbs.SendWR{
-				Opcode:     op,
-				SGL:        []verbs.SGE{{Addr: env.mrA.Addr(), Length: size, MR: env.mrA}},
-				RemoteAddr: env.mrB.Addr(),
-				RemoteKey:  env.mrB.RKey(),
-			}
-			// Warm metadata caches, then measure a synchronous latency.
-			if _, err := env.qpA.PostSend(0, wr); err != nil {
-				return nil, err
-			}
-			lat := sim.RunOnce(func(t sim.Time) sim.Time {
-				c, err := env.qpA.PostSend(t, wr)
-				if err != nil {
-					panic(err)
-				}
-				return c.Done
-			}, sim.Millisecond)
-			latFig.Line(name).Add(float64(size), lat.Micros())
-
-			// Fresh environment for the closed-loop throughput run: reusing
-			// the latency env would leak queued resource history into it.
-			env, err = newPair(1 << 22)
-			if err != nil {
-				return nil, err
-			}
-			wr.SGL[0].MR = env.mrA
-			wr.SGL[0].Addr = env.mrA.Addr()
-			wr.RemoteAddr = env.mrB.Addr()
-			wr.RemoteKey = env.mrB.RKey()
-			res := measure(func(t sim.Time) sim.Time {
-				c, err := env.qpA.PostSend(t, wr)
-				if err != nil {
-					panic(err)
-				}
-				return c.Done
-			}, 16, 150, h)
-			thrFig.Line(name).Add(float64(size), res.MOPS())
+		for si, size := range fig1Sizes {
+			p := res[oi*len(fig1Sizes)+si]
+			latFig.Line(name).Add(float64(size), p.lat)
+			thrFig.Line(name).Add(float64(size), p.mops)
 		}
 	}
 	return &Report{

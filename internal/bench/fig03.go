@@ -81,17 +81,28 @@ func Fig03BatchStrategies(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 3: batch strategies vs payload size", "size(B)", "throughput (MOPS, entries)")
 	h := horizon(scale, 10*sim.Millisecond)
 	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	type cell struct {
+		batch int
+		s     core.Strategy
+		size  int
+	}
+	var cells []cell
 	for _, batch := range []int{4, 16} {
 		for _, s := range []core.Strategy{core.Doorbell, core.SGL, core.SP} {
-			label := s.String() + labelFor(batch)
 			for _, size := range sizes {
-				m, err := batchThroughput(s, size, batch, 1, h)
-				if err != nil {
-					return nil, err
-				}
-				fig.Line(label).Add(float64(size), m)
+				cells = append(cells, cell{batch, s, size})
 			}
 		}
+	}
+	ms, err := points(len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		return batchThroughput(c.s, c.size, c.batch, 1, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		fig.Line(c.s.String()+labelFor(c.batch)).Add(float64(c.size), ms[i])
 	}
 	for _, size := range sizes {
 		fig.Line("Local-size-4").Add(float64(size), localVectorMOPS(topo.Write, size, 4))
@@ -118,13 +129,16 @@ func Fig04BatchSizes(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 4: batch size sweep at 32B payloads", "batch", "throughput (MOPS, entries)")
 	h := horizon(scale, 10*sim.Millisecond)
 	batches := []int{1, 2, 4, 8, 16, 32}
-	for _, s := range []core.Strategy{core.Doorbell, core.SGL, core.SP} {
-		for _, b := range batches {
-			m, err := batchThroughput(s, 32, b, 1, h)
-			if err != nil {
-				return nil, err
-			}
-			fig.Line(s.String()).Add(float64(b), m)
+	strategies := []core.Strategy{core.Doorbell, core.SGL, core.SP}
+	ms, err := points(len(strategies)*len(batches), func(i int) (float64, error) {
+		return batchThroughput(strategies[i/len(batches)], 32, batches[i%len(batches)], 1, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range strategies {
+		for bi, b := range batches {
+			fig.Line(s.String()).Add(float64(b), ms[si*len(batches)+bi])
 		}
 	}
 	for _, b := range batches {
@@ -145,12 +159,17 @@ func Fig04BatchSizes(scale float64) (*Report, error) {
 func Fig05ThreadScaling(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 5: per-thread throughput vs thread count (batch 4, 32B)", "threads", "per-thread throughput (MOPS)")
 	h := horizon(scale, 10*sim.Millisecond)
-	for _, s := range []core.Strategy{core.Doorbell, core.SGL, core.SP} {
-		for threads := 1; threads <= 8; threads++ {
-			m, err := batchThroughput(s, 32, 4, threads, h)
-			if err != nil {
-				return nil, err
-			}
+	strategies := []core.Strategy{core.Doorbell, core.SGL, core.SP}
+	const maxThreads = 8
+	ms, err := points(len(strategies)*maxThreads, func(i int) (float64, error) {
+		return batchThroughput(strategies[i/maxThreads], 32, 4, i%maxThreads+1, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range strategies {
+		for threads := 1; threads <= maxThreads; threads++ {
+			m := ms[si*maxThreads+threads-1]
 			fig.Line(s.String()+" (batch size=4)").Add(float64(threads), m/float64(threads))
 		}
 	}

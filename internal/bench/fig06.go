@@ -103,33 +103,49 @@ func Fig06RandSeq(scale float64) (*Report, error) {
 	// allocation modest while staying 64x beyond the cache coverage.
 	const region = 256 << 20
 	h := horizon(scale, 5*sim.Millisecond)
-	figs := make([]*stats.Figure, 0, 2)
+	type cell struct {
+		op    verbs.Opcode
+		label string
+		s, d  bool
+		size  int
+	}
+	var cells []cell
 	for _, op := range []verbs.Opcode{verbs.OpRead, verbs.OpWrite} {
 		name := "read"
-		title := "Fig 6a: RDMA READ rand/seq throughput"
 		if op == verbs.OpWrite {
 			name = "write"
-			title = "Fig 6b: RDMA WRITE rand/seq throughput"
 		}
-		fig := stats.NewFigure(title, "size(B)", "throughput (MOPS)")
 		for _, combo := range []struct {
-			label string
-			s, d  bool
+			suffix string
+			s, d   bool
 		}{
-			{name + "-rand-rand", false, false},
-			{name + "-rand-seq", false, true},
-			{name + "-seq-rand", true, false},
-			{name + "-seq-seq", true, true},
+			{"-rand-rand", false, false},
+			{"-rand-seq", false, true},
+			{"-seq-rand", true, false},
+			{"-seq-seq", true, true},
 		} {
 			for _, size := range fig6Sizes {
-				m, err := randSeqThroughput(op, combo.s, combo.d, size, region, h)
-				if err != nil {
-					return nil, err
-				}
-				fig.Line(combo.label).Add(float64(size), m)
+				cells = append(cells, cell{op, name + combo.suffix, combo.s, combo.d, size})
 			}
 		}
-		figs = append(figs, fig)
+	}
+	ms, err := points(len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		return randSeqThroughput(c.op, c.s, c.d, c.size, region, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	figs := []*stats.Figure{
+		stats.NewFigure("Fig 6a: RDMA READ rand/seq throughput", "size(B)", "throughput (MOPS)"),
+		stats.NewFigure("Fig 6b: RDMA WRITE rand/seq throughput", "size(B)", "throughput (MOPS)"),
+	}
+	for i, c := range cells {
+		fig := figs[0]
+		if c.op == verbs.OpWrite {
+			fig = figs[1]
+		}
+		fig.Line(c.label).Add(float64(c.size), ms[i])
 	}
 	return &Report{
 		ID:      "fig6",
@@ -176,7 +192,7 @@ func Fig06dRegisteredSize(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 6d: throughput vs registered region size (32B writes)", "region(B)", "throughput (MOPS)")
 	h := horizon(scale, 5*sim.Millisecond)
 	regions := []int{4 << 10, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}
-	for _, combo := range []struct {
+	combos := []struct {
 		label string
 		s, d  bool
 	}{
@@ -184,13 +200,17 @@ func Fig06dRegisteredSize(scale float64) (*Report, error) {
 		{"rand-seq", false, true},
 		{"seq-rand", true, false},
 		{"seq-seq", true, true},
-	} {
-		for _, region := range regions {
-			m, err := randSeqThroughput(verbs.OpWrite, combo.s, combo.d, 32, region, h)
-			if err != nil {
-				return nil, err
-			}
-			fig.Line(combo.label).Add(float64(region), m)
+	}
+	ms, err := points(len(combos)*len(regions), func(i int) (float64, error) {
+		combo := combos[i/len(regions)]
+		return randSeqThroughput(verbs.OpWrite, combo.s, combo.d, 32, regions[i%len(regions)], h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range combos {
+		for ri, region := range regions {
+			fig.Line(combo.label).Add(float64(region), ms[ci*len(regions)+ri])
 		}
 	}
 	return &Report{

@@ -22,29 +22,26 @@ func Fig08Consolidation(scale float64) (*Report, error) {
 	const blocks = 16 // skewed workload: hot writes target a small block set
 	data := make([]byte, 32)
 
-	// Native path: every 32 B write is one RDMA write.
-	{
+	// theta=0 stands for the native path: every 32 B write is one RDMA write.
+	thetas := []int{0, 1, 2, 4, 8, 16}
+	ms, err := points(len(thetas), func(i int) (float64, error) {
+		theta := thetas[i]
 		env, err := newPair(1 << 22)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		rng := rand.New(rand.NewSource(1))
-		res := measure(func(t sim.Time) sim.Time {
-			off := rng.Intn(blocks)*blockSize + (rng.Intn(blockSize-32) &^ 7)
-			copy(env.mrA.Region().Bytes(), data)
-			wrDone, err := writeAt(env, t, off, 32)
-			if err != nil {
-				panic(err)
-			}
-			return wrDone
-		}, 16, 30, h)
-		fig.Line("IO consolidation").Add(0, res.MOPS()) // x=0 stands for "Native"
-	}
-
-	for _, theta := range []int{1, 2, 4, 8, 16} {
-		env, err := newPair(1 << 22)
-		if err != nil {
-			return nil, err
+		if theta == 0 {
+			res := measure(func(t sim.Time) sim.Time {
+				off := rng.Intn(blocks)*blockSize + (rng.Intn(blockSize-32) &^ 7)
+				copy(env.mrA.Region().Bytes(), data)
+				wrDone, err := writeAt(env, t, off, 32)
+				if err != nil {
+					panic(err)
+				}
+				return wrDone
+			}, 16, 30, h)
+			return res.MOPS(), nil
 		}
 		cons, err := core.NewConsolidator(core.ConsolidatorConfig{
 			QP:         env.qpA,
@@ -56,9 +53,8 @@ func Fig08Consolidation(scale float64) (*Report, error) {
 			MaxBlocks:  blocks,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		rng := rand.New(rand.NewSource(1))
 		res := measure(func(t sim.Time) sim.Time {
 			off := rng.Intn(blocks)*blockSize + (rng.Intn(blockSize-32) &^ 7)
 			done, err := cons.Write(t, off, data)
@@ -67,7 +63,13 @@ func Fig08Consolidation(scale float64) (*Report, error) {
 			}
 			return done
 		}, 16, 30, h)
-		fig.Line("IO consolidation").Add(float64(theta), res.MOPS())
+		return res.MOPS(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, theta := range thetas {
+		fig.Line("IO consolidation").Add(float64(theta), ms[i])
 	}
 	return &Report{
 		ID:      "fig8",

@@ -154,24 +154,25 @@ func Fig10aSpinlock(scale float64) (*Report, error) {
 	h := horizon(scale, 10*sim.Millisecond)
 	bo := core.DefaultBackoff()
 	threads := []int{1, 2, 4, 6, 8, 10, 12, 14}
-	for _, n := range threads {
-		local := localLockMOPS(n, h)
-		remote, err := remoteLockMOPS(n, nil, h)
-		if err != nil {
-			return nil, err
+	variants := []struct {
+		label string
+		run   func(n int) (float64, error)
+	}{
+		{"Local", func(n int) (float64, error) { return localLockMOPS(n, h), nil }},
+		{"Remote", func(n int) (float64, error) { return remoteLockMOPS(n, nil, h) }},
+		{"Remote(backoff)", func(n int) (float64, error) { return remoteLockMOPS(n, &bo, h) }},
+		{"RPC-based", func(n int) (float64, error) { return rpcLockMOPS(n, h) }},
+	}
+	ms, err := points(len(threads)*len(variants), func(i int) (float64, error) {
+		return variants[i%len(variants)].run(threads[i/len(variants)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, n := range threads {
+		for vi, v := range variants {
+			fig.Line(v.label).Add(float64(n), ms[ti*len(variants)+vi])
 		}
-		remoteBO, err := remoteLockMOPS(n, &bo, h)
-		if err != nil {
-			return nil, err
-		}
-		rpc, err := rpcLockMOPS(n, h)
-		if err != nil {
-			return nil, err
-		}
-		fig.Line("Local").Add(float64(n), local)
-		fig.Line("Remote").Add(float64(n), remote)
-		fig.Line("Remote(backoff)").Add(float64(n), remoteBO)
-		fig.Line("RPC-based").Add(float64(n), rpc)
 	}
 	return &Report{
 		ID:      "fig10a",
@@ -183,120 +184,148 @@ func Fig10aSpinlock(scale float64) (*Report, error) {
 	}, nil
 }
 
+// localSequencerMOPS: all threads FAA one cache line.
+func localSequencerMOPS(n int, h sim.Duration) float64 {
+	tp := topo.DefaultParams()
+	seqLocal := core.NewLocalSequencer(tp)
+	var locals []*sim.Client
+	for i := 0; i < n; i++ {
+		i := i
+		seqLocal.Register()
+		locals = append(locals, &sim.Client{
+			PostCost: 4,
+			Window:   1,
+			Op: func(post sim.Time) sim.Time {
+				_, t := seqLocal.Next(post, i)
+				return t
+			},
+		})
+	}
+	return sim.RunClosedLoop(locals, h).MOPS()
+}
+
+// remoteSequencerMOPS: FAA against the home machine.
+func remoteSequencerMOPS(n int, h sim.Duration) (float64, error) {
+	lc, err := newLockCluster(n)
+	if err != nil {
+		return 0, err
+	}
+	var remotes []*sim.Client
+	for i := 0; i < n; i++ {
+		seq, err := core.NewRemoteSequencer(lc.qps[i],
+			verbs.SGE{Addr: lc.scrs[i].Addr(), Length: 8, MR: lc.scrs[i]},
+			lc.homeMR, lc.homeMR.Addr())
+		if err != nil {
+			return 0, err
+		}
+		remotes = append(remotes, &sim.Client{
+			PostCost: 150,
+			Window:   4,
+			Op: func(post sim.Time) sim.Time {
+				_, t, err := seq.Next(post, 1)
+				if err != nil {
+					panic(err)
+				}
+				return t
+			},
+		})
+	}
+	return sim.RunClosedLoop(remotes, h).MOPS(), nil
+}
+
+// rpcSequencerMOPS: counter behind a server.
+func rpcSequencerMOPS(n int, h sim.Duration) (float64, error) {
+	lc, err := newLockCluster(n)
+	if err != nil {
+		return 0, err
+	}
+	srv, err := core.NewRPCServer(lc.home, lc.homeMR, 750)
+	if err != nil {
+		return 0, err
+	}
+	var counter uint64
+	var rpcs []*sim.Client
+	for i := 0; i < n; i++ {
+		rc, err := srv.NewRPCClient(lc.ctxs[i], 1, 1, lc.scrs[i])
+		if err != nil {
+			return 0, err
+		}
+		seq := core.NewRPCSequencer(rc, &counter)
+		rpcs = append(rpcs, &sim.Client{
+			PostCost: 150,
+			Window:   1,
+			Op: func(post sim.Time) sim.Time {
+				_, t, err := seq.Next(post)
+				if err != nil {
+					panic(err)
+				}
+				return t
+			},
+		})
+	}
+	return sim.RunClosedLoop(rpcs, h).MOPS(), nil
+}
+
+// udRPCSequencerMOPS: the datagram-transport RPC sequencer.
+func udRPCSequencerMOPS(n int, h sim.Duration) (float64, error) {
+	lc, err := newLockCluster(n)
+	if err != nil {
+		return 0, err
+	}
+	udSrv, err := core.NewUDRPCServer(lc.home, 1, lc.homeMR, 750)
+	if err != nil {
+		return 0, err
+	}
+	var udCounter uint64
+	var uds []*sim.Client
+	for i := 0; i < n; i++ {
+		uc, err := udSrv.NewUDRPCClient(lc.ctxs[i], 1, lc.scrs[i])
+		if err != nil {
+			return 0, err
+		}
+		seq := core.NewRPCSequencer(uc, &udCounter)
+		uds = append(uds, &sim.Client{
+			PostCost: 150,
+			Window:   1,
+			Op: func(post sim.Time) sim.Time {
+				_, t, err := seq.Next(post)
+				if err != nil {
+					panic(err)
+				}
+				return t
+			},
+		})
+	}
+	return sim.RunClosedLoop(uds, h).MOPS(), nil
+}
+
 // Fig10bSequencer reproduces Figure 10(b): local vs remote vs RPC
 // sequencers over thread count.
 func Fig10bSequencer(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 10b: sequencer throughput", "threads", "throughput (MOPS)")
 	h := horizon(scale, 10*sim.Millisecond)
 	threads := []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
-	for _, n := range threads {
-		// Local: all threads FAA one cache line.
-		tp := topo.DefaultParams()
-		seqLocal := core.NewLocalSequencer(tp)
-		var locals []*sim.Client
-		for i := 0; i < n; i++ {
-			i := i
-			seqLocal.Register()
-			locals = append(locals, &sim.Client{
-				PostCost: 4,
-				Window:   1,
-				Op: func(post sim.Time) sim.Time {
-					_, t := seqLocal.Next(post, i)
-					return t
-				},
-			})
-		}
-		fig.Line("Local Sequencer").Add(float64(n), sim.RunClosedLoop(locals, h).MOPS())
-
-		// Remote: FAA against the home machine.
-		lc, err := newLockCluster(n)
-		if err != nil {
-			return nil, err
-		}
-		var remotes []*sim.Client
-		for i := 0; i < n; i++ {
-			seq, err := core.NewRemoteSequencer(lc.qps[i],
-				verbs.SGE{Addr: lc.scrs[i].Addr(), Length: 8, MR: lc.scrs[i]},
-				lc.homeMR, lc.homeMR.Addr())
-			if err != nil {
-				return nil, err
-			}
-			remotes = append(remotes, &sim.Client{
-				PostCost: 150,
-				Window:   4,
-				Op: func(post sim.Time) sim.Time {
-					_, t, err := seq.Next(post, 1)
-					if err != nil {
-						panic(err)
-					}
-					return t
-				},
-			})
-		}
-		fig.Line("Remote Sequencer").Add(float64(n), sim.RunClosedLoop(remotes, h).MOPS())
-
-		// RPC: counter behind a server.
-		lc2, err := newLockCluster(n)
-		if err != nil {
-			return nil, err
-		}
-		srv, err := core.NewRPCServer(lc2.home, lc2.homeMR, 750)
-		if err != nil {
-			return nil, err
-		}
-		var counter uint64
-		var rpcs []*sim.Client
-		for i := 0; i < n; i++ {
-			rc, err := srv.NewRPCClient(lc2.ctxs[i], 1, 1, lc2.scrs[i])
-			if err != nil {
-				return nil, err
-			}
-			seq := core.NewRPCSequencer(rc, &counter)
-			rpcs = append(rpcs, &sim.Client{
-				PostCost: 150,
-				Window:   1,
-				Op: func(post sim.Time) sim.Time {
-					_, t, err := seq.Next(post)
-					if err != nil {
-						panic(err)
-					}
-					return t
-				},
-			})
-		}
-		fig.Line("RPC Sequencer").Add(float64(n), sim.RunClosedLoop(rpcs, h).MOPS())
-
+	variants := []struct {
+		label string
+		run   func(n int) (float64, error)
+	}{
+		{"Local Sequencer", func(n int) (float64, error) { return localSequencerMOPS(n, h), nil }},
+		{"Remote Sequencer", func(n int) (float64, error) { return remoteSequencerMOPS(n, h) }},
+		{"RPC Sequencer", func(n int) (float64, error) { return rpcSequencerMOPS(n, h) }},
 		// UD RPC: the Herd/FaSST-style datagram variant Section III-E cites
 		// as the faster two-sided implementation.
-		lc3, err := newLockCluster(n)
-		if err != nil {
-			return nil, err
+		{"UD RPC Sequencer", func(n int) (float64, error) { return udRPCSequencerMOPS(n, h) }},
+	}
+	ms, err := points(len(threads)*len(variants), func(i int) (float64, error) {
+		return variants[i%len(variants)].run(threads[i/len(variants)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, n := range threads {
+		for vi, v := range variants {
+			fig.Line(v.label).Add(float64(n), ms[ti*len(variants)+vi])
 		}
-		udSrv, err := core.NewUDRPCServer(lc3.home, 1, lc3.homeMR, 750)
-		if err != nil {
-			return nil, err
-		}
-		var udCounter uint64
-		var uds []*sim.Client
-		for i := 0; i < n; i++ {
-			uc, err := udSrv.NewUDRPCClient(lc3.ctxs[i], 1, lc3.scrs[i])
-			if err != nil {
-				return nil, err
-			}
-			seq := core.NewRPCSequencer(uc, &udCounter)
-			uds = append(uds, &sim.Client{
-				PostCost: 150,
-				Window:   1,
-				Op: func(post sim.Time) sim.Time {
-					_, t, err := seq.Next(post)
-					if err != nil {
-						panic(err)
-					}
-					return t
-				},
-			})
-		}
-		fig.Line("UD RPC Sequencer").Add(float64(n), sim.RunClosedLoop(uds, h).MOPS())
 	}
 	return &Report{
 		ID:      "fig10b",

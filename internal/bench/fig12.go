@@ -78,27 +78,28 @@ func Fig12HashtableBreakdown(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 12: disaggregated hashtable optimization breakdown", "front-ends", "throughput (MOPS)")
 	h := horizon(scale, 5*sim.Millisecond)
 	const hotFrac = 1.0 / 8
-	for n := 1; n <= 14; n++ {
-		basic, err := hashtableMOPS(hashtable.Basic, 4, n, hotFrac, h)
-		if err != nil {
-			return nil, err
+	const maxFE = 14
+	levels := []struct {
+		label string
+		level hashtable.Level
+		theta int
+	}{
+		{"Basic HashTable", hashtable.Basic, 4},
+		{"+Numa-OPT", hashtable.NUMA, 4},
+		{"+Reorder-OPT (th=4)", hashtable.Reorder, 4},
+		{"+Reorder-OPT (th=16)", hashtable.Reorder, 16},
+	}
+	ms, err := points(maxFE*len(levels), func(i int) (float64, error) {
+		l := levels[i%len(levels)]
+		return hashtableMOPS(l.level, l.theta, i/len(levels)+1, hotFrac, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for n := 1; n <= maxFE; n++ {
+		for li, l := range levels {
+			fig.Line(l.label).Add(float64(n), ms[(n-1)*len(levels)+li])
 		}
-		numa, err := hashtableMOPS(hashtable.NUMA, 4, n, hotFrac, h)
-		if err != nil {
-			return nil, err
-		}
-		r4, err := hashtableMOPS(hashtable.Reorder, 4, n, hotFrac, h)
-		if err != nil {
-			return nil, err
-		}
-		r16, err := hashtableMOPS(hashtable.Reorder, 16, n, hotFrac, h)
-		if err != nil {
-			return nil, err
-		}
-		fig.Line("Basic HashTable").Add(float64(n), basic)
-		fig.Line("+Numa-OPT").Add(float64(n), numa)
-		fig.Line("+Reorder-OPT (th=4)").Add(float64(n), r4)
-		fig.Line("+Reorder-OPT (th=16)").Add(float64(n), r16)
 	}
 	return &Report{
 		ID:      "fig12",
@@ -115,20 +116,23 @@ func Fig13HashtableConsolidation(scale float64) (*Report, error) {
 	h := horizon(scale, 5*sim.Millisecond)
 	const frontEnds = 6
 	figA := stats.NewFigure("Fig 13a: throughput vs hot key proportion (theta=16)", "1/proportion", "throughput (MOPS)")
-	for _, denom := range []int{4, 8, 16, 32} {
-		m, err := hashtableMOPS(hashtable.Reorder, 16, frontEnds, 1.0/float64(denom), h)
-		if err != nil {
-			return nil, err
-		}
-		figA.Line("Consolidation-OPT").Add(float64(denom), m)
-	}
 	figB := stats.NewFigure("Fig 13b: throughput vs batch size (hot=1/8)", "theta", "throughput (MOPS)")
-	for _, theta := range []int{1, 2, 4, 8, 16} {
-		m, err := hashtableMOPS(hashtable.Reorder, theta, frontEnds, 1.0/8, h)
-		if err != nil {
-			return nil, err
+	denoms := []int{4, 8, 16, 32}
+	thetas := []int{1, 2, 4, 8, 16}
+	ms, err := points(len(denoms)+len(thetas), func(i int) (float64, error) {
+		if i < len(denoms) {
+			return hashtableMOPS(hashtable.Reorder, 16, frontEnds, 1.0/float64(denoms[i]), h)
 		}
-		figB.Line("Consolidation-OPT").Add(float64(theta), m)
+		return hashtableMOPS(hashtable.Reorder, thetas[i-len(denoms)], frontEnds, 1.0/8, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, denom := range denoms {
+		figA.Line("Consolidation-OPT").Add(float64(denom), ms[i])
+	}
+	for i, theta := range thetas {
+		figB.Line("Consolidation-OPT").Add(float64(theta), ms[len(denoms)+i])
 	}
 	return &Report{
 		ID:      "fig13",

@@ -54,24 +54,28 @@ func shuffleMOPS(executors, batch int, strategy core.Strategy, numa bool, h sim.
 func Fig15Shuffle(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 15: distributed shuffle throughput", "executors", "throughput (MOPS, entries)")
 	h := horizon(scale, 2*sim.Millisecond)
+	type cell struct {
+		label    string
+		n, batch int
+		strategy core.Strategy
+	}
+	var cells []cell
 	for n := 2; n <= 16; n += 2 {
-		basic, err := shuffleMOPS(n, 1, core.SGL, true, h)
-		if err != nil {
-			return nil, err
-		}
-		fig.Line("Basic Shuffle").Add(float64(n), basic)
+		cells = append(cells, cell{"Basic Shuffle", n, 1, core.SGL})
 		for _, batch := range []int{4, 16} {
-			sgl, err := shuffleMOPS(n, batch, core.SGL, true, h)
-			if err != nil {
-				return nil, err
-			}
-			sp, err := shuffleMOPS(n, batch, core.SP, true, h)
-			if err != nil {
-				return nil, err
-			}
-			fig.Line(sglLabel("SGL", batch)).Add(float64(n), sgl)
-			fig.Line(sglLabel("SP", batch)).Add(float64(n), sp)
+			cells = append(cells, cell{sglLabel("SGL", batch), n, batch, core.SGL})
+			cells = append(cells, cell{sglLabel("SP", batch), n, batch, core.SP})
 		}
+	}
+	ms, err := points(len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		return shuffleMOPS(c.n, c.batch, c.strategy, true, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		fig.Line(c.label).Add(float64(c.n), ms[i])
 	}
 	return &Report{
 		ID:      "fig15",

@@ -44,6 +44,13 @@ func Fig16JoinBatching(scale float64) (*Report, error) {
 		n = 1 << 14
 	}
 	figA := stats.NewFigure(fmt.Sprintf("Fig 16a: join time vs batch size (%d tuples/relation)", n), "batch", "time (ms)")
+	type cellA struct {
+		label string
+		theta int
+		numa  bool
+		batch int
+	}
+	var cellsA []cellA
 	for _, theta := range []int{4, 16} {
 		for _, numa := range []bool{true, false} {
 			label := fmt.Sprintf("th=%d", theta)
@@ -51,24 +58,42 @@ func Fig16JoinBatching(scale float64) (*Report, error) {
 				label = "(NUMA Affinity) " + label
 			}
 			for _, batch := range []int{1, 2, 4, 8, 16, 32} {
-				res, err := joinRun(theta, batch, numa, n)
-				if err != nil {
-					return nil, err
-				}
-				figA.Line(label).Add(float64(batch), res.Elapsed.Seconds()*1e3)
+				cellsA = append(cellsA, cellA{label, theta, numa, batch})
 			}
 		}
 	}
+	msA, err := points(len(cellsA), func(i int) (float64, error) {
+		c := cellsA[i]
+		res, err := joinRun(c.theta, c.batch, c.numa, n)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed.Seconds() * 1e3, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cellsA {
+		figA.Line(c.label).Add(float64(c.batch), msA[i])
+	}
 
 	figB := stats.NewFigure("Fig 16b: inverse join time vs executors", "executors", "1/time (1/s)")
+	execsList := []int{1, 2, 4, 8, 12, 16}
+	batchesB := []int{4, 16}
+	msB, err := points(len(execsList)*len(batchesB), func(i int) (float64, error) {
+		res, err := joinRun(execsList[i/len(batchesB)], batchesB[i%len(batchesB)], true, n)
+		if err != nil {
+			return 0, err
+		}
+		return 1.0 / res.Elapsed.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var base float64 // single-executor inverse time for the ideal line
-	for _, execs := range []int{1, 2, 4, 8, 12, 16} {
-		for _, batch := range []int{4, 16} {
-			res, err := joinRun(execs, batch, true, n)
-			if err != nil {
-				return nil, err
-			}
-			inv := 1.0 / res.Elapsed.Seconds()
+	for ei, execs := range execsList {
+		for bi, batch := range batchesB {
+			inv := msB[ei*len(batchesB)+bi]
 			figB.Line(fmt.Sprintf("lambda=%d", batch)).Add(float64(execs), inv)
 			if execs == 1 && batch == 4 {
 				base = inv
@@ -93,34 +118,34 @@ func Fig17JoinScale(scale float64) (*Report, error) {
 	if base < 1<<13 {
 		base = 1 << 13
 	}
-	for _, mult := range []int{1, 2, 4} { // the paper's 2^24..2^26 ratio ladder
-		n := base * mult
-		single, err := joinRun(1, 1, true, n)
+	mults := []int{1, 2, 4} // the paper's 2^24..2^26 ratio ladder
+	configs := []struct {
+		label      string
+		execs, lam int
+		numa       bool
+	}{
+		{"Single Machine", 1, 1, true},
+		{"th=4,lam=1 w/o NUMA", 4, 1, false},
+		{"th=4,lam=1", 4, 1, true},
+		{"th=4,lam=16", 4, 16, true},
+		{"th=16,lam=16", 16, 16, true},
+	}
+	ms, err := points(len(mults)*len(configs), func(i int) (float64, error) {
+		cfg := configs[i%len(configs)]
+		res, err := joinRun(cfg.execs, cfg.lam, cfg.numa, base*mults[i/len(configs)])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		d41w, err := joinRun(4, 1, false, n)
-		if err != nil {
-			return nil, err
+		return res.Elapsed.Seconds() * 1e3, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mult := range mults {
+		x := float64(base * mult)
+		for ci, cfg := range configs {
+			fig.Line(cfg.label).Add(x, ms[mi*len(configs)+ci])
 		}
-		d41, err := joinRun(4, 1, true, n)
-		if err != nil {
-			return nil, err
-		}
-		d416, err := joinRun(4, 16, true, n)
-		if err != nil {
-			return nil, err
-		}
-		d1616, err := joinRun(16, 16, true, n)
-		if err != nil {
-			return nil, err
-		}
-		x := float64(n)
-		fig.Line("Single Machine").Add(x, single.Elapsed.Seconds()*1e3)
-		fig.Line("th=4,lam=1 w/o NUMA").Add(x, d41w.Elapsed.Seconds()*1e3)
-		fig.Line("th=4,lam=1").Add(x, d41.Elapsed.Seconds()*1e3)
-		fig.Line("th=4,lam=16").Add(x, d416.Elapsed.Seconds()*1e3)
-		fig.Line("th=16,lam=16").Add(x, d1616.Elapsed.Seconds()*1e3)
 	}
 	return &Report{
 		ID:      "fig17",
@@ -136,34 +161,41 @@ func Fig17JoinScale(scale float64) (*Report, error) {
 func Fig18CPUCost(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 18: CPU cost of SP vs SGL per GB shipped", "entry(B)", "CPU seconds per GB")
 	h := horizon(scale, 5*sim.Millisecond)
-	for _, strategy := range []core.Strategy{core.SP, core.SGL} {
-		for _, entry := range []int{64, 256, 1024, 4096} {
-			env, err := newPair(1 << 22)
+	strategies := []core.Strategy{core.SP, core.SGL}
+	entries := []int{64, 256, 1024, 4096}
+	ms, err := points(len(strategies)*len(entries), func(i int) (float64, error) {
+		strategy, entry := strategies[i/len(entries)], entries[i%len(entries)]
+		env, err := newPair(1 << 22)
+		if err != nil {
+			return 0, err
+		}
+		b, err := core.NewBatcher(strategy, env.qpA, env.mrA, env.staging, env.mrB)
+		if err != nil {
+			return 0, err
+		}
+		frags := make([]core.Fragment, 7) // the paper normalizes to 7 executors' batches
+		for i := range frags {
+			frags[i] = core.Fragment{Addr: env.mrA.Addr() + mem.Addr(i*2*entry), Length: entry}
+		}
+		var cpu sim.Duration
+		var bytes int64
+		measure(func(t sim.Time) sim.Time {
+			r, err := b.WriteBatch(t, frags, env.mrB.Addr())
 			if err != nil {
-				return nil, err
+				panic(err)
 			}
-			b, err := core.NewBatcher(strategy, env.qpA, env.mrA, env.staging, env.mrB)
-			if err != nil {
-				return nil, err
-			}
-			frags := make([]core.Fragment, 7) // the paper normalizes to 7 executors' batches
-			for i := range frags {
-				frags[i] = core.Fragment{Addr: env.mrA.Addr() + mem.Addr(i*2*entry), Length: entry}
-			}
-			var cpu sim.Duration
-			var bytes int64
-			res := measure(func(t sim.Time) sim.Time {
-				r, err := b.WriteBatch(t, frags, env.mrB.Addr())
-				if err != nil {
-					panic(err)
-				}
-				cpu += r.CPU
-				bytes += int64(entry * len(frags))
-				return r.Done
-			}, 2, 100, h)
-			_ = res
-			secPerGB := cpu.Seconds() / (float64(bytes) / (1 << 30))
-			fig.Line(strategy.String()).Add(float64(entry), secPerGB)
+			cpu += r.CPU
+			bytes += int64(entry * len(frags))
+			return r.Done
+		}, 2, 100, h)
+		return cpu.Seconds() / (float64(bytes) / (1 << 30)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, strategy := range strategies {
+		for ei, entry := range entries {
+			fig.Line(strategy.String()).Add(float64(entry), ms[si*len(entries)+ei])
 		}
 	}
 	return &Report{

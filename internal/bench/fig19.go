@@ -53,17 +53,28 @@ func dlogMOPS(engines, batch int, numa bool, h sim.Duration) (float64, error) {
 func Fig19DistributedLog(scale float64) (*Report, error) {
 	fig := stats.NewFigure("Fig 19: distributed log throughput", "batch", "throughput (MOPS, records)")
 	h := horizon(scale, 5*sim.Millisecond)
+	type cell struct {
+		engines int
+		numa    bool
+		batch   int
+	}
+	var cells []cell
 	for _, engines := range []int{4, 7, 14} {
 		for _, numa := range []bool{false, true} {
-			label := label19(engines, numa)
 			for _, batch := range []int{1, 2, 4, 8, 16, 32} {
-				m, err := dlogMOPS(engines, batch, numa, h)
-				if err != nil {
-					return nil, err
-				}
-				fig.Line(label).Add(float64(batch), m)
+				cells = append(cells, cell{engines, numa, batch})
 			}
 		}
+	}
+	ms, err := points(len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		return dlogMOPS(c.engines, c.batch, c.numa, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		fig.Line(label19(c.engines, c.numa)).Add(float64(c.batch), ms[i])
 	}
 	return &Report{
 		ID:      "fig19",

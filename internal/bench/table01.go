@@ -30,35 +30,36 @@ func Table01StrategyComparison(scale float64) (*Report, error) {
 		core.SP:       "Poor (per-app gather code)",
 		core.SGL:      "Moderate (one-sided gather only)",
 	}
-	for _, s := range []core.Strategy{core.Doorbell, core.SP, core.SGL} {
-		perf, err := batchThroughput(s, 32, 16, 1, h)
-		if err != nil {
-			return nil, err
-		}
-		b1, err := batchThroughput(s, 32, 1, 1, h)
-		if err != nil {
-			return nil, err
-		}
-		b32, err := batchThroughput(s, 32, 32, 1, h)
-		if err != nil {
-			return nil, err
-		}
-		t1, err := batchThroughput(s, 32, 4, 1, h)
-		if err != nil {
-			return nil, err
-		}
-		t8, err := batchThroughput(s, 32, 4, 8, h)
-		if err != nil {
-			return nil, err
-		}
+	strategies := []core.Strategy{core.Doorbell, core.SP, core.SGL}
+	halfSizes := []int{64, 128, 256, 512, 1024, 2048}
+	// Each strategy takes the five headline measurements plus the half-rate
+	// payload ladder. Every measurement runs on its own cluster, so the
+	// ladder can be measured eagerly (no early break) without changing any
+	// value; the scan below reproduces the first-halving semantics.
+	cells := []struct{ size, batch, threads int }{
+		{32, 16, 1}, // perf
+		{32, 1, 1},  // batch 1
+		{32, 32, 1}, // batch 32
+		{32, 4, 1},  // 1 thread
+		{32, 4, 8},  // 8 threads
+	}
+	for _, size := range halfSizes {
+		cells = append(cells, struct{ size, batch, threads int }{size, 16, 1})
+	}
+	ms, err := points(len(strategies)*len(cells), func(i int) (float64, error) {
+		c := cells[i%len(cells)]
+		return batchThroughput(strategies[i/len(cells)], c.size, c.batch, c.threads, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range strategies {
+		row := ms[si*len(cells) : (si+1)*len(cells)]
+		perf, b1, b32, t1, t8 := row[0], row[1], row[2], row[3], row[4]
 		// Find where throughput halves vs the 32 B value.
 		half := "n/a"
-		for _, size := range []int{64, 128, 256, 512, 1024, 2048} {
-			m, err := batchThroughput(s, size, 16, 1, h)
-			if err != nil {
-				return nil, err
-			}
-			if m < perf/2 {
+		for i, size := range halfSizes {
+			if row[5+i] < perf/2 {
 				half = fmt.Sprintf("%dB", size)
 				break
 			}

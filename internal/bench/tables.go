@@ -117,28 +117,44 @@ func Table03RemoteSockets(scale float64) (*Report, error) {
 	h := horizon(scale, 5*sim.Millisecond)
 	tb := stats.NewTable("Table III: throughput and latency of remote inter-socket access (read us/MOPS over write us/MOPS)")
 	tb.Row("local \\ remote", "port1+matched mem", "port1+alt mem", "port0+matched mem", "port0+alt mem")
-	var bestW, worstW float64
+	type placement struct{ lc, lm, rp, rm bool }
+	var cases []placement
 	for _, lc := range []bool{false, true} {
 		for _, lm := range []bool{false, true} {
-			label := pick(lc, "alt core", "own core") + "+" + pick(lm, "alt mem", "own mem")
-			cells := []string{label}
 			for _, rp := range []bool{false, true} {
 				for _, rm := range []bool{false, true} {
-					rLat, rThr, wLat, wThr, err := placementCase(lc, lm, rp, rm, h)
-					if err != nil {
-						return nil, err
-					}
-					cells = append(cells, fmt.Sprintf("%.2f/%.2f %.2f/%.2f", rLat, rThr, wLat, wThr))
-					if !lc && !lm && !rp && !rm {
-						bestW = wThr
-					}
-					if lc && lm && rp && rm {
-						worstW = wThr
-					}
+					cases = append(cases, placement{lc, lm, rp, rm})
 				}
 			}
-			tb.Row(cells...)
 		}
+	}
+	type caseResult struct{ rLat, rThr, wLat, wThr float64 }
+	res, err := points(len(cases), func(i int) (caseResult, error) {
+		c := cases[i]
+		rLat, rThr, wLat, wThr, err := placementCase(c.lc, c.lm, c.rp, c.rm, h)
+		return caseResult{rLat, rThr, wLat, wThr}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var bestW, worstW float64
+	for i, c := range cases {
+		r := res[i]
+		if !c.lc && !c.lm && !c.rp && !c.rm {
+			bestW = r.wThr
+		}
+		if c.lc && c.lm && c.rp && c.rm {
+			worstW = r.wThr
+		}
+	}
+	for li := 0; li < 4; li++ {
+		lc, lm := li >= 2, li%2 == 1
+		cells := []string{pick(lc, "alt core", "own core") + "+" + pick(lm, "alt mem", "own mem")}
+		for ri := 0; ri < 4; ri++ {
+			r := res[li*4+ri]
+			cells = append(cells, fmt.Sprintf("%.2f/%.2f %.2f/%.2f", r.rLat, r.rThr, r.wLat, r.wThr))
+		}
+		tb.Row(cells...)
 	}
 	return &Report{
 		ID:     "table3",

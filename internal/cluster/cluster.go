@@ -44,6 +44,7 @@ type Machine struct {
 	qpi       *sim.Pipe
 	fab       *fabric.Fabric
 	endpoints []*fabric.Endpoint // one per NIC port
+	qpSeq     *uint64            // cluster-wide QP number allocator
 }
 
 // Cluster is a set of machines sharing one switch.
@@ -51,6 +52,7 @@ type Cluster struct {
 	cfg      Config
 	machines []*Machine
 	fab      *fabric.Fabric
+	qpSeq    uint64 // last QP number handed out on this cluster
 }
 
 // New builds a cluster from the configuration.
@@ -84,6 +86,7 @@ func New(cfg Config) (*Cluster, error) {
 			nic:      nic,
 			qpi:      sim.NewPipe(fmt.Sprintf("m%d/qpi", i), cfg.Topo.QPIBandwidth, 0),
 			fab:      fab,
+			qpSeq:    &c.qpSeq,
 		}
 		for p := 0; p < nic.Ports(); p++ {
 			m.endpoints = append(m.endpoints, fab.Register(fmt.Sprintf("m%d/p%d", i, p)))
@@ -144,6 +147,14 @@ func (m *Machine) QPI() *sim.Pipe { return m.qpi }
 
 // Fabric returns the switch the machine's ports are plugged into.
 func (m *Machine) Fabric() *fabric.Fabric { return m.fab }
+
+// NextQPID hands out the next QP number, unique across the whole cluster.
+// The counter lives on the Cluster, not in package state, so concurrent
+// simulations of disjoint clusters never share an allocator.
+func (m *Machine) NextQPID() uint64 {
+	*m.qpSeq++
+	return *m.qpSeq
+}
 
 // Endpoint returns the fabric endpoint of NIC port p.
 func (m *Machine) Endpoint(p int) *fabric.Endpoint {

@@ -29,6 +29,41 @@ type NIC struct {
 	xlate    *LRU      // page-translation entries
 	qpCache  *LRU      // QP contexts
 	mrCache  *LRU      // MR records
+	counters StageCounters
+}
+
+// StageCounters tallies, per device, how often each stage of the op
+// pipeline touched the NIC. They fall out of the engine's single stage walk
+// (doorbell -> WQE fetch -> gather -> ... -> scatter) for free and cost
+// nothing in the timing model; cache hit/miss counts live on the LRUs and
+// are folded in by NIC.Counters.
+type StageCounters struct {
+	Doorbells    uint64 // MMIO doorbell writes
+	DoorbellWQEs uint64 // WQEs handed over across all doorbells
+	WQEFetches   uint64 // WQEs DMA'd from host memory
+	GatherOps    uint64 // gather DMA operations (host -> device)
+	GatherFrags  uint64 // SGL fragments gathered
+	GatherBytes  uint64 // payload bytes gathered
+	ScatterOps   uint64 // scatter DMA operations (device -> host)
+	ScatterFrags uint64 // SGL fragments scattered
+	ScatterBytes uint64 // payload bytes scattered
+
+	TranslationHits   uint64
+	TranslationMisses uint64
+	QPHits            uint64
+	QPMisses          uint64
+	MRHits            uint64
+	MRMisses          uint64
+}
+
+// Counters returns a snapshot of the device's stage counters, including the
+// metadata-cache hit/miss tallies.
+func (n *NIC) Counters() StageCounters {
+	c := n.counters
+	c.TranslationHits, c.TranslationMisses = uint64(n.xlate.Hits()), uint64(n.xlate.Misses())
+	c.QPHits, c.QPMisses = uint64(n.qpCache.Hits()), uint64(n.qpCache.Misses())
+	c.MRHits, c.MRMisses = uint64(n.mrCache.Hits()), uint64(n.mrCache.Misses())
+	return c
 }
 
 // Port is one physical port with its own execution engine, atomic unit and
@@ -101,6 +136,8 @@ func (n *NIC) Doorbell(now sim.Time, nWQE, inlineBytes int) sim.Time {
 	if nWQE < 1 {
 		panic("rnic: doorbell needs at least one WQE")
 	}
+	n.counters.Doorbells++
+	n.counters.DoorbellWQEs += uint64(nWQE)
 	cost := n.params.MMIOCost + sim.Duration(inlineBytes)*n.params.InlinePerByte
 	return now + cost
 }
@@ -111,6 +148,7 @@ func (n *NIC) FetchWQEs(now sim.Time, nWQE int) sim.Time {
 	if nWQE < 1 {
 		panic("rnic: must fetch at least one WQE")
 	}
+	n.counters.WQEFetches += uint64(nWQE)
 	t := n.pcieDown.Delay(now, 64) // first WQE
 	t += n.params.WQEFetch
 	if nWQE > 1 {
@@ -142,6 +180,15 @@ func (n *NIC) sgDMA(pipe *sim.Pipe, now sim.Time, sizes []int, qpiCross int, qpi
 	for _, s := range sizes {
 		total += s
 		t += n.params.SGEFetch
+	}
+	if pipe == n.pcieDown {
+		n.counters.GatherOps++
+		n.counters.GatherFrags += uint64(len(sizes))
+		n.counters.GatherBytes += uint64(total)
+	} else {
+		n.counters.ScatterOps++
+		n.counters.ScatterFrags += uint64(len(sizes))
+		n.counters.ScatterBytes += uint64(total)
 	}
 	t = pipe.Delay(t, total)
 	if qpiCross > 0 && qpi != nil {
@@ -233,8 +280,10 @@ func (p *Port) Exec() *sim.Resource { return p.exec }
 // Atomic exposes the atomic-unit resource for utilization reporting.
 func (p *Port) Atomic() *sim.Resource { return p.atomic }
 
-// Reset clears all queues and caches (between experiment runs).
+// Reset clears all queues, caches and stage counters (between experiment
+// runs).
 func (n *NIC) Reset() {
+	n.counters = StageCounters{}
 	n.pcieDown.Reset()
 	n.pcieUp.Reset()
 	n.xlate.Reset()

@@ -53,7 +53,9 @@ type ClientStats struct {
 }
 
 // Percentile returns the p-quantile (0..1) of the recorded latencies, or 0
-// when none were recorded.
+// when none were recorded. The quantile is linearly interpolated between the
+// two nearest order statistics (the "R-7" estimator), so Percentile(0.5) of
+// {10, 20} is 15, not 10.
 func (s ClientStats) Percentile(p float64) Duration {
 	if len(s.Latencies) == 0 {
 		return 0
@@ -64,8 +66,15 @@ func (s ClientStats) Percentile(p float64) Duration {
 	if p > 1 {
 		p = 1
 	}
-	i := int(p * float64(len(s.Latencies)-1))
-	return s.Latencies[i]
+	rank := p * float64(len(s.Latencies)-1)
+	lo := int(rank)
+	if lo >= len(s.Latencies)-1 {
+		return s.Latencies[len(s.Latencies)-1]
+	}
+	frac := rank - float64(lo)
+	a, b := s.Latencies[lo], s.Latencies[lo+1]
+	// Round half up so the interpolated Duration is the nearest nanosecond.
+	return a + Duration(frac*float64(b-a)+0.5)
 }
 
 // Result summarizes a closed-loop run.

@@ -234,3 +234,35 @@ func TestRecordLatenciesPercentiles(t *testing.T) {
 		t.Fatal("percentile without records should be 0")
 	}
 }
+
+func TestPercentileInterpolates(t *testing.T) {
+	// Even-length set: the median falls between two order statistics and
+	// must be interpolated, not truncated to the lower one.
+	s := ClientStats{Latencies: []Duration{10, 20, 30, 40}}
+	if got := s.Percentile(0.5); got != 25 {
+		t.Fatalf("p50 of {10,20,30,40} = %v, want 25", got)
+	}
+	// p99 of 1..100: rank 98.01 -> 99 + 0.01*(100-99) = 99.01, rounds to 99.
+	lats := make([]Duration, 100)
+	for i := range lats {
+		lats[i] = Duration(i + 1)
+	}
+	s = ClientStats{Latencies: lats}
+	if got := s.Percentile(0.99); got != 99 {
+		t.Fatalf("p99 of 1..100 = %v, want 99", got)
+	}
+	// p50 of 1..100: rank 49.5 -> midway between 50 and 51, rounds up to 51.
+	if got := s.Percentile(0.5); got != 51 {
+		t.Fatalf("p50 of 1..100 = %v, want 51", got)
+	}
+	// Fractional interpolation rounds half up on the nanosecond grid.
+	s = ClientStats{Latencies: []Duration{0, 1}}
+	if got := s.Percentile(0.5); got != 1 {
+		t.Fatalf("p50 of {0,1} = %v, want 1 (round half up)", got)
+	}
+	// Single sample: every quantile is that sample.
+	s = ClientStats{Latencies: []Duration{42}}
+	if s.Percentile(0) != 42 || s.Percentile(0.5) != 42 || s.Percentile(1) != 42 {
+		t.Fatal("single-sample quantiles should all be the sample")
+	}
+}

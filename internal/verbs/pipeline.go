@@ -1,0 +1,550 @@
+// The op-pipeline engine: the one implementation of the requester/responder
+// stage walk every verb takes (paper Sections III-A..III-E) —
+//
+//	doorbell MMIO -> WQE fetch -> gather DMA -> QP pipeline ->
+//	execution unit -> wire -> responder -> CQE
+//
+// RC, UC and UD queue pairs all post through postList/executeOne below; the
+// transport only selects branch points inside the walk (which metadata is
+// touched, how the pipeline stage is priced, when the requester considers
+// the operation complete). Observers subscribe to stage transitions without
+// forking the timing code: Trace is just one listener.
+package verbs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdmasem/internal/sim"
+	"rdmasem/internal/topo"
+)
+
+// StageObserver receives a notification each time an operation crosses a
+// pipeline stage boundary. Observers are passive: they must not mutate
+// simulation state, and the walk's timing is identical with or without one
+// attached.
+type StageObserver interface {
+	ObserveStage(s Stage, at sim.Time)
+}
+
+// qpState is the queue-pair state shared by connected (QP) and datagram
+// (UDQP) queue pairs: identity, port/core binding, the per-QP processing
+// pipeline, the completion/receive queues, and the attached stage observer.
+type qpState struct {
+	id        uint64
+	ctx       *Context
+	transport Transport
+	port      int
+	core      topo.SocketID // socket of the posting core
+	pipeline  *sim.Resource // per-QP processing pipeline (Fig 1's 4.7 MOPS)
+	sendCQ    *CQ
+	recvCQ    *CQ
+	recvQ     []RecvWR
+	obs       StageObserver // active stage listener, else nil
+}
+
+// newQPState initialises the shared queue-pair state, drawing the QP number
+// from the machine's cluster-wide allocator.
+func newQPState(ctx *Context, t Transport, port int, kind string) qpState {
+	id := ctx.machine.NextQPID()
+	return qpState{
+		id:        id,
+		ctx:       ctx,
+		transport: t,
+		port:      port,
+		core:      ctx.machine.PortSocket(port),
+		pipeline:  sim.NewResource(fmt.Sprintf("%s%d/pipeline", kind, id)),
+		sendCQ:    NewCQ(),
+		recvCQ:    NewCQ(),
+	}
+}
+
+// observe forwards a stage transition to the attached observer, if any.
+func (s *qpState) observe(st Stage, at sim.Time) {
+	if s.obs != nil {
+		s.obs.ObserveStage(st, at)
+	}
+}
+
+// SetStageObserver attaches (or, with nil, detaches) a stage listener. The
+// observer sees every stage of every operation posted on this QP until
+// detached; it has no effect on timing.
+func (s *qpState) SetStageObserver(o StageObserver) { s.obs = o }
+
+// ID returns the QP number.
+func (s *qpState) ID() uint64 { return s.id }
+
+// Context returns the owning context.
+func (s *qpState) Context() *Context { return s.ctx }
+
+// Transport returns the QP's transport type.
+func (s *qpState) Transport() Transport { return s.transport }
+
+// Port returns the local NIC port index the QP is bound to.
+func (s *qpState) Port() int { return s.port }
+
+// PortSocket returns the socket affiliated with the QP's port.
+func (s *qpState) PortSocket() topo.SocketID { return s.ctx.machine.PortSocket(s.port) }
+
+// Core returns the socket of the posting core.
+func (s *qpState) Core() topo.SocketID { return s.core }
+
+// BindCore pins the posting core to a socket (NUMA experiments).
+func (s *qpState) BindCore(sock topo.SocketID) { s.core = sock }
+
+// SendCQ returns the send completion queue.
+func (s *qpState) SendCQ() *CQ { return s.sendCQ }
+
+// RecvCQ returns the receive completion queue.
+func (s *qpState) RecvCQ() *CQ { return s.recvCQ }
+
+// Pipeline exposes the per-QP pipeline resource (ablation benchmarks).
+func (s *qpState) Pipeline() *sim.Resource { return s.pipeline }
+
+// PostRecv posts a receive buffer for incoming SEND/datagram traffic.
+func (s *qpState) PostRecv(wr RecvWR) error {
+	if wr.SGE.MR == nil || wr.SGE.MR.ctx != s.ctx {
+		return fmt.Errorf("%w: receive buffer must be a local MR", ErrBadSGL)
+	}
+	if err := wr.SGE.MR.contains(wr.SGE.Addr, wr.SGE.Length); err != nil {
+		return err
+	}
+	s.recvQ = append(s.recvQ, wr)
+	return nil
+}
+
+// remoteSpan is the number of remote bytes the WR touches.
+func remoteSpan(wr *SendWR) int {
+	if wr.Opcode == OpCompSwap || wr.Opcode == OpFetchAdd {
+		return 8
+	}
+	return wr.TotalLength()
+}
+
+// postList walks an already-validated doorbell list through the pipeline:
+// one MMIO for the whole batch (Kalia et al.'s Doorbell mechanism, Section
+// III-A), then each WR proceeds as an independent network operation against
+// dst. On a mid-list error the completions of the WRs that fully executed —
+// the completed prefix — are returned alongside the error; the failed WR
+// and everything after it have no data effects and no CQEs.
+//
+// The returned drops slice is parallel to the completions and marks UD
+// datagrams discarded because the receiver had no posted buffer; it is nil
+// for connected transports, which surface that condition as ErrRNR instead.
+func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []bool, error) {
+	nic := src.ctx.machine.NIC()
+	inlineBytes := 0
+	allInline := true
+	for _, wr := range wrs {
+		if wr.Inline {
+			inlineBytes += wr.TotalLength()
+		} else {
+			allInline = false
+		}
+	}
+	t := nic.Doorbell(now, len(wrs), inlineBytes)
+	src.observe(StagePosted, t)
+	if src.transport != UD && !allInline {
+		// Connected QPs fetch the whole doorbell list up front; UD fetches
+		// its single WQE inside executeOne, after the posting-core penalty.
+		t = nic.FetchWQEs(t, len(wrs))
+		src.observe(StageWQEFetched, t)
+	}
+
+	comps := make([]Completion, 0, len(wrs))
+	var drops []bool
+	if src.transport == UD {
+		drops = make([]bool, 0, len(wrs))
+	}
+	for _, wr := range wrs {
+		c, dropped, err := executeOne(src, dst, t, wr)
+		if err != nil {
+			return comps, drops, err
+		}
+		comps = append(comps, c)
+		if src.transport == UD {
+			drops = append(drops, dropped)
+		}
+	}
+	return comps, drops, nil
+}
+
+// executeOne walks one WR (already doorbelled at time t) through the
+// requester NIC, the wire, and the responder, applying its data effects and
+// returning the completion. The dropped flag is only ever true for UD.
+func executeOne(src, dst *qpState, t sim.Time, wr *SendWR) (Completion, bool, error) {
+	m := src.ctx.machine
+	nic := m.NIC()
+	port := nic.Port(src.port)
+	tp := m.Topology().Params
+	p := nic.Params()
+	total := wr.TotalLength()
+	ud := src.transport == UD
+
+	// Requester-side metadata: QP context, per-SGE MR records + translations.
+	// A UD WQE carries no lkey references when the payload is inline, so its
+	// SGL metadata is only touched on the (non-inline) gather path below.
+	meta := nic.TouchQP(src.id)
+	if !ud {
+		for _, s := range wr.SGL {
+			meta = meta.Add(nic.TouchMR(s.MR.id))
+			meta = meta.Add(nic.Translate(s.Addr, s.Length))
+		}
+	}
+
+	// Posting-core NUMA penalty: MMIO and CQE polling cross QPI when the
+	// core is not on the port's socket (Table III's "alt core" rows). For
+	// connected transports the crossing also serializes in the chipset,
+	// inflating the per-QP pipeline occupancy; UD's connectionless doorbell
+	// only pays the wire-visible latency.
+	var numaSvc sim.Duration
+	if src.core != src.PortSocket() {
+		t += 4 * tp.QPILatency
+		if !ud {
+			numaSvc += 2 * tp.QPILatency
+		}
+	}
+
+	if ud && !wr.Inline {
+		t = nic.FetchWQEs(t, 1)
+		src.observe(StageWQEFetched, t)
+	}
+
+	// Payload gather (skipped for inline and for verbs with no outbound
+	// payload).
+	needGather := !wr.Inline && (wr.Opcode == OpWrite || wr.Opcode == OpSend)
+	if needGather {
+		sizes := make([]int, len(wr.SGL))
+		cross := 0
+		for i, s := range wr.SGL {
+			sizes[i] = s.Length
+			if ud {
+				meta = meta.Add(nic.TouchMR(s.MR.id))
+				meta = meta.Add(nic.Translate(s.Addr, s.Length))
+			}
+			if s.MR.region.Socket() != src.PortSocket() {
+				cross++
+			}
+		}
+		if !ud && cross > 0 {
+			numaSvc += tp.QPILatency
+		}
+		t = nic.GatherDMA(t, sizes, cross, m.QPI(), tp.QPILatency)
+		src.observe(StageGathered, t)
+	}
+
+	// Per-QP pipeline, then the port execution unit (with metadata-induced
+	// service inflation). UD keeps no connection state, so its pipeline
+	// stage is cheaper than the connected transports'.
+	var qpSvc, exSvc sim.Duration
+	switch {
+	case ud:
+		qpSvc, exSvc = p.QPWrite*3/4, p.ExecSend
+	case wr.Opcode == OpWrite:
+		qpSvc, exSvc = p.QPWrite, p.ExecWrite
+	case wr.Opcode == OpRead:
+		qpSvc, exSvc = p.QPRead, p.ExecRead
+	case wr.Opcode == OpSend:
+		qpSvc, exSvc = p.QPWrite, p.ExecSend
+	default: // atomics share the read-style request pipeline
+		qpSvc, exSvc = p.QPWrite, p.ExecRead
+	}
+	t = src.pipeline.Delay(t+meta.Latency, qpSvc+numaSvc)
+	src.observe(StagePipelined, t)
+	t = port.Execute(t, exSvc, meta.Service)
+	src.observe(StageExecuted, t)
+
+	// Wire to the responder.
+	srcEP := m.Endpoint(src.port)
+	dstEP := dst.ctx.machine.Endpoint(dst.port)
+	fab := m.Fabric()
+	outbound := 0
+	switch wr.Opcode {
+	case OpWrite, OpSend:
+		outbound = total
+	case OpCompSwap:
+		outbound = 16
+	case OpFetchAdd:
+		outbound = 8
+	}
+	sendDone := t // local NIC is finished once the EU emits the packet
+
+	if ud {
+		// An unreliable datagram completes locally once it is on the wire;
+		// no acknowledgement will ever come back.
+		localDone := sendDone + CQECost
+		cqe := src.sendCQ.push(CQE{Opcode: OpSend, Time: localDone, Bytes: total})
+		arrive := fab.Send(t, srcEP, dstEP, outbound)
+		src.observe(StageArrived, arrive)
+		delivered, dropped, err := deliverDatagram(src, dst, arrive, wr, total)
+		if err != nil {
+			return Completion{}, false, err
+		}
+		src.observe(StageResponded, delivered)
+		return Completion{Opcode: OpSend, Done: cqe.Time, Bytes: total}, dropped, nil
+	}
+
+	t = fab.Send(t, srcEP, dstEP, outbound)
+	src.observe(StageArrived, t)
+
+	// Responder side.
+	done, old, err := respond(src, dst, t, wr, total)
+	if err != nil {
+		return Completion{}, false, err
+	}
+	src.observe(StageResponded, done)
+	if src.transport == UC && wr.Opcode == OpWrite {
+		// Unreliable connection: no acknowledgement exists, so the send
+		// completes locally as soon as the datagram is on the wire. The
+		// responder-side costs above were still charged (the write lands),
+		// the requester just does not wait for them.
+		done = sendDone
+	}
+
+	if wr.Unsignaled {
+		// Selective signaling: no CQE is generated, saving its DMA. The
+		// returned completion still reports when the operation finished so
+		// callers can chain timings; ordering within the QP ensures a later
+		// signaled WR's CQE implies this one completed.
+		return Completion{WRID: wr.ID, Opcode: wr.Opcode, Done: done, Bytes: total, OldValue: old}, false, nil
+	}
+	done += CQECost
+	cqe := src.sendCQ.push(CQE{WRID: wr.ID, Opcode: wr.Opcode, Time: done, Bytes: total, OldValue: old})
+	return Completion{WRID: cqe.WRID, Opcode: cqe.Opcode, Done: cqe.Time, Bytes: cqe.Bytes, OldValue: cqe.OldValue}, false, nil
+}
+
+// respond models the responder NIC for connected transports and applies the
+// data effects, returning the time the requester-side completion condition
+// is met (ACK or response received) before CQE generation.
+func respond(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) (sim.Time, uint64, error) {
+	rm := dst.ctx.machine
+	rnicDev := rm.NIC()
+	rport := rnicDev.Port(dst.port)
+	rtp := rm.Topology().Params
+	rp := rnicDev.Params()
+	fab := src.ctx.machine.Fabric()
+	srcEP := src.ctx.machine.Endpoint(src.port)
+	dstEP := rm.Endpoint(dst.port)
+
+	// Responder metadata: the peer QP context plus the target MR/pages.
+	meta := rnicDev.TouchQP(dst.id)
+	if wr.Opcode.OneSided() {
+		rmr, err := dst.ctx.LookupMR(wr.RemoteKey)
+		if err != nil {
+			return 0, 0, err
+		}
+		meta = meta.Add(rnicDev.TouchMR(rmr.id))
+		meta = meta.Add(rnicDev.Translate(wr.RemoteAddr, remoteSpan(wr)))
+	}
+
+	crossesQPI := false
+	if wr.Opcode.OneSided() {
+		if sock, err := rm.Space().SocketOf(wr.RemoteAddr); err == nil {
+			crossesQPI = sock != rm.PortSocket(dst.port)
+		}
+	}
+	if crossesQPI {
+		// Cross-socket DMA at the responder serializes on the interconnect
+		// path and occupies the responder engine for longer.
+		meta.Service += 3 * rtp.QPILatency
+	}
+
+	switch wr.Opcode {
+	case OpWrite:
+		t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
+		// The ACK leaves once the NIC has accepted the payload; the DMA to
+		// host memory still occupies the PCIe/QPI pipes (contention) but
+		// completes asynchronously with respect to the requester.
+		ack := fab.Send(t, dstEP, srcEP, 0)
+		cross := 0
+		if crossesQPI {
+			cross = 1
+			ack += rtp.QPILatency
+		}
+		rnicDev.ScatterDMA(t, []int{total}, cross, rm.QPI(), rtp.QPILatency)
+		if err := applyWrite(dst, wr); err != nil {
+			return 0, 0, err
+		}
+		return ack, 0, nil
+
+	case OpRead:
+		// Translation-miss handling overlaps the long host DMA read on the
+		// response path, so only half the miss occupancy hits the engine.
+		t := rport.Execute(arrive+meta.Latency, rp.RespRead, meta.Service/2)
+		// DMA read from host DRAM: high latency, pipelined occupancy.
+		rcross := 0
+		if crossesQPI {
+			rcross = 1
+		}
+		t = rnicDev.GatherDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency) + rp.PCIeReadLatency
+		t = fab.Send(t, dstEP, srcEP, total)
+		// Scatter into local buffers at the requester.
+		sizes := make([]int, len(wr.SGL))
+		cross := 0
+		for i, s := range wr.SGL {
+			sizes[i] = s.Length
+			if s.MR.region.Socket() != src.PortSocket() {
+				cross++
+			}
+		}
+		nic := src.ctx.machine.NIC()
+		t = nic.ScatterDMA(t, sizes, cross, src.ctx.machine.QPI(), src.ctx.machine.Topology().Params.QPILatency)
+		if err := applyRead(dst, wr); err != nil {
+			return 0, 0, err
+		}
+		return t, 0, nil
+
+	case OpCompSwap, OpFetchAdd:
+		t := rport.ExecuteAtomic(arrive + meta.Latency)
+		// Locked PCIe read-modify-write against host memory.
+		rcross := 0
+		if crossesQPI {
+			rcross = 1
+		}
+		t = rnicDev.GatherDMA(t, []int{8}, rcross, rm.QPI(), rtp.QPILatency) + rp.PCIeReadLatency
+		rnicDev.ScatterDMA(t, []int{8}, rcross, rm.QPI(), rtp.QPILatency)
+		old, err := applyAtomic(dst, wr)
+		if err != nil {
+			return 0, 0, err
+		}
+		t = fab.Send(t, dstEP, srcEP, 8)
+		return t, old, nil
+
+	case OpSend:
+		if len(dst.recvQ) == 0 {
+			return 0, 0, ErrRNR
+		}
+		recv := dst.recvQ[0]
+		if recv.SGE.Length < total {
+			return 0, 0, fmt.Errorf("%w: receive buffer %d < payload %d", ErrBadSGL, recv.SGE.Length, total)
+		}
+		dst.recvQ = dst.recvQ[1:]
+		t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
+		rcross := 0
+		if recv.SGE.MR.region.Socket() != rm.PortSocket(dst.port) {
+			rcross = 1
+		}
+		dmaEnd := rnicDev.ScatterDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency)
+		if err := applySend(wr, recv); err != nil {
+			return 0, 0, err
+		}
+		dst.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
+		ack := fab.Send(t, dstEP, srcEP, 0)
+		return ack, 0, nil
+	}
+	return 0, 0, fmt.Errorf("verbs: unknown opcode %v", wr.Opcode)
+}
+
+// deliverDatagram models the receiver of a UD send: there is no
+// acknowledgement and no RNR back-pressure — with no posted buffer the
+// datagram is silently dropped (unreliable!). It returns the delivery time
+// (receive-side DMA end) and the drop flag.
+func deliverDatagram(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) (sim.Time, bool, error) {
+	rm := dst.ctx.machine
+	rnicDev := rm.NIC()
+	rmeta := rnicDev.TouchQP(dst.id)
+	rt := rnicDev.Port(dst.port).Execute(arrive+rmeta.Latency, rnicDev.Params().RespWrite, rmeta.Service)
+	if len(dst.recvQ) == 0 {
+		return rt, true, nil
+	}
+	recv := dst.recvQ[0]
+	if recv.SGE.Length < total {
+		return 0, false, fmt.Errorf("%w: receive buffer %d < datagram %d", ErrBadSGL, recv.SGE.Length, total)
+	}
+	dst.recvQ = dst.recvQ[1:]
+	rcross := 0
+	if recv.SGE.MR.region.Socket() != rm.PortSocket(dst.port) {
+		rcross = 1
+	}
+	dmaEnd := rnicDev.ScatterDMA(rt, []int{total}, rcross, rm.QPI(), rm.Topology().Params.QPILatency)
+	if err := applySend(wr, recv); err != nil {
+		return 0, false, err
+	}
+	dst.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
+	return dmaEnd, false, nil
+}
+
+// applyWrite gathers the SGL bytes and stores them contiguously at the
+// remote address.
+func applyWrite(dst *qpState, wr *SendWR) error {
+	buf := make([]byte, 0, wr.TotalLength())
+	for _, s := range wr.SGL {
+		b, err := s.MR.region.Slice(s.Addr, s.Length)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+	}
+	return dst.ctx.machine.Space().WriteAt(wr.RemoteAddr, buf)
+}
+
+// applyRead loads the remote bytes and scatters them into the SGL.
+func applyRead(dst *qpState, wr *SendWR) error {
+	buf := make([]byte, wr.TotalLength())
+	if err := dst.ctx.machine.Space().ReadAt(wr.RemoteAddr, buf); err != nil {
+		return err
+	}
+	off := 0
+	for _, s := range wr.SGL {
+		b, err := s.MR.region.Slice(s.Addr, s.Length)
+		if err != nil {
+			return err
+		}
+		copy(b, buf[off:off+s.Length])
+		off += s.Length
+	}
+	return nil
+}
+
+// applyAtomic performs the 8-byte remote read-modify-write and stores the
+// old value into the local SGE. RDMA atomics are big-endian on the wire but
+// operate on host-order integers; we use little-endian throughout for
+// simplicity.
+func applyAtomic(dst *qpState, wr *SendWR) (uint64, error) {
+	space := dst.ctx.machine.Space()
+	var b [8]byte
+	if err := space.ReadAt(wr.RemoteAddr, b[:]); err != nil {
+		return 0, err
+	}
+	old := binary.LittleEndian.Uint64(b[:])
+	switch wr.Opcode {
+	case OpCompSwap:
+		if old == wr.CompareAdd {
+			binary.LittleEndian.PutUint64(b[:], wr.Swap)
+			if err := space.WriteAt(wr.RemoteAddr, b[:]); err != nil {
+				return 0, err
+			}
+		}
+	case OpFetchAdd:
+		binary.LittleEndian.PutUint64(b[:], old+wr.CompareAdd)
+		if err := space.WriteAt(wr.RemoteAddr, b[:]); err != nil {
+			return 0, err
+		}
+	}
+	// Store the old value into the local completion buffer.
+	s := wr.SGL[0]
+	local, err := s.MR.region.Slice(s.Addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint64(local, old)
+	return old, nil
+}
+
+// applySend copies the gathered payload into the posted receive buffer.
+func applySend(wr *SendWR, recv RecvWR) error {
+	buf := make([]byte, 0, wr.TotalLength())
+	for _, s := range wr.SGL {
+		b, err := s.MR.region.Slice(s.Addr, s.Length)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, b...)
+	}
+	dst, err := recv.SGE.MR.region.Slice(recv.SGE.Addr, len(buf))
+	if err != nil {
+		return err
+	}
+	copy(dst, buf)
+	return nil
+}

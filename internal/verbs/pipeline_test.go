@@ -1,0 +1,277 @@
+package verbs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+)
+
+// TestPostSendListPartialBatch pins the doorbell-list error contract: a
+// runtime failure mid-list returns the completed prefix alongside the error,
+// and len(comps) identifies the failing WR.
+func TestPostSendListPartialBatch(t *testing.T) {
+	e := newPair(t)
+	// Two receive buffers for four SENDs: WRs 0 and 1 land, WR 2 hits RNR.
+	for i := 0; i < 2; i++ {
+		if err := e.qpB.PostRecv(RecvWR{ID: uint64(100 + i), SGE: SGE{Addr: e.mrB.Addr() + mem.Addr(i*256), Length: 256, MR: e.mrB}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrs := make([]*SendWR, 4)
+	for i := range wrs {
+		copy(e.mrA.Region().Bytes()[i*16:], []byte{byte('a' + i)})
+		wrs[i] = &SendWR{
+			ID:     uint64(i),
+			Opcode: OpSend,
+			SGL:    []SGE{{Addr: e.mrA.Addr() + mem.Addr(i*16), Length: 16, MR: e.mrA}},
+		}
+	}
+	comps, err := e.qpA.PostSendList(0, wrs)
+	if !errors.Is(err, ErrRNR) {
+		t.Fatalf("err=%v, want ErrRNR", err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("got %d completions, want the 2-WR prefix", len(comps))
+	}
+	for i, c := range comps {
+		if c.WRID != uint64(i) || c.Bytes != 16 {
+			t.Fatalf("prefix completion %d = %+v", i, c)
+		}
+		if c.Done <= 0 {
+			t.Fatalf("prefix completion %d has no timing", i)
+		}
+	}
+	// wrs[len(comps)] is the failing WR; its effects must be absent while
+	// the prefix's data and CQEs are in place.
+	if got := e.mrB.Region().Bytes()[0]; got != 'a' {
+		t.Fatalf("first send payload = %q", got)
+	}
+	if got := e.mrB.Region().Bytes()[256]; got != 'b' {
+		t.Fatalf("second send payload = %q", got)
+	}
+	cqes := e.qpB.RecvCQ().Poll(sim.MaxTime, 10)
+	if len(cqes) != 2 || cqes[0].WRID != 100 || cqes[1].WRID != 101 {
+		t.Fatalf("recv CQEs %+v", cqes)
+	}
+
+	// A validation failure is detected up front: no completions, no effects.
+	e2 := newPair(t)
+	bad := []*SendWR{
+		{Opcode: OpWrite, SGL: []SGE{{Addr: e2.mrA.Addr(), Length: 8, MR: e2.mrA}}, RemoteAddr: e2.mrB.Addr(), RemoteKey: e2.mrB.RKey()},
+		{Opcode: OpWrite, SGL: nil, RemoteAddr: e2.mrB.Addr(), RemoteKey: e2.mrB.RKey()},
+	}
+	comps, err = e2.qpA.PostSendList(0, bad)
+	if !errors.Is(err, ErrBadSGL) || comps != nil {
+		t.Fatalf("validation failure: comps=%v err=%v", comps, err)
+	}
+	if got := e2.cl.Machine(0).NIC().Counters().Doorbells; got != 0 {
+		t.Fatalf("doorbells after rejected list = %d, want 0", got)
+	}
+}
+
+// randomWR builds a deterministic random work request legal on the given
+// transport. The spread covers every opcode, single and multi-SGE gathers,
+// and the inline path.
+func randomWR(rng *rand.Rand, tr Transport, e *pairEnv) *SendWR {
+	var ops []Opcode
+	switch tr {
+	case RC:
+		ops = []Opcode{OpWrite, OpRead, OpSend, OpCompSwap, OpFetchAdd}
+	case UC:
+		ops = []Opcode{OpWrite, OpSend}
+	default:
+		ops = []Opcode{OpSend}
+	}
+	op := ops[rng.Intn(len(ops))]
+	wr := &SendWR{ID: rng.Uint64(), Opcode: op}
+	if op == OpCompSwap || op == OpFetchAdd {
+		wr.SGL = []SGE{{Addr: e.mrA.Addr() + mem.Addr(rng.Intn(1024)*8), Length: 8, MR: e.mrA}}
+		wr.RemoteAddr = e.mrB.Addr() + mem.Addr(rng.Intn(1024)*8)
+		wr.RemoteKey = e.mrB.RKey()
+		wr.CompareAdd = rng.Uint64()
+		wr.Swap = rng.Uint64()
+		return wr
+	}
+	nSGE := 1 + rng.Intn(3)
+	total := 0
+	for i := 0; i < nSGE; i++ {
+		l := 1 + rng.Intn(512)
+		wr.SGL = append(wr.SGL, SGE{Addr: e.mrA.Addr() + mem.Addr(rng.Intn(1<<19)), Length: l, MR: e.mrA})
+		total += l
+	}
+	if (op == OpWrite || op == OpSend) && total <= MaxInline && rng.Intn(2) == 0 {
+		wr.Inline = true
+	}
+	if op.OneSided() {
+		wr.RemoteAddr = e.mrB.Addr() + mem.Addr(rng.Intn(1<<19))
+		wr.RemoteKey = e.mrB.RKey()
+	}
+	return wr
+}
+
+// TestTracedMatchesUntraced is the engine-equivalence property: the same
+// random WR sequence replayed on identical fresh clusters must produce
+// bit-identical completion times whether posted plainly, traced, or as a
+// singleton doorbell list. There is only one stage walk; observation and
+// batching must not perturb it.
+func TestTracedMatchesUntraced(t *testing.T) {
+	for _, tr := range []Transport{RC, UC} {
+		t.Run(tr.String(), func(t *testing.T) {
+			plain, traced, listed := newPair(t), newPair(t), newPair(t)
+			if tr == UC {
+				plain.qpA, plain.qpB = MustConnect(plain.ctxA, 1, plain.ctxB, 1, UC)
+				traced.qpA, traced.qpB = MustConnect(traced.ctxA, 1, traced.ctxB, 1, UC)
+				listed.qpA, listed.qpB = MustConnect(listed.ctxA, 1, listed.ctxB, 1, UC)
+			}
+			now := sim.Time(0)
+			for step := 0; step < 60; step++ {
+				// One shared generator per variant, same seed: identical WRs.
+				wrOn := func(e *pairEnv) *SendWR {
+					return randomWR(rand.New(rand.NewSource(int64(step))), tr, e)
+				}
+				wantSend := wrOn(plain).Opcode == OpSend
+				if wantSend {
+					for _, e := range []*pairEnv{plain, traced, listed} {
+						if err := e.qpB.PostRecv(RecvWR{SGE: SGE{Addr: e.mrB.Addr(), Length: 1 << 20, MR: e.mrB}}); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				cp, err := plain.qpA.PostSend(now, wrOn(plain))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ct, trace, err := traced.qpA.PostSendTraced(now, wrOn(traced))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cls, err := listed.qpA.PostSendList(now, []*SendWR{wrOn(listed)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cp.Done != ct.Done || cp.Done != cls[0].Done {
+					t.Fatalf("step %d: plain %v, traced %v, listed %v", step, cp.Done, ct.Done, cls[0].Done)
+				}
+				if got, _ := trace.At(StageCompleted); got != cp.Done {
+					t.Fatalf("step %d: trace completion %v != %v", step, got, cp.Done)
+				}
+				now = cp.Done + sim.Time(100+step*7)
+			}
+		})
+	}
+}
+
+// TestUDTracedMatchesUntraced is the datagram leg of the equivalence
+// property, including the drop path.
+func TestUDTracedMatchesUntraced(t *testing.T) {
+	mkUD := func() (*pairEnv, *UDQP, *UDQP) {
+		cfg := cluster.DefaultConfig()
+		cfg.Machines = 2
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxA, ctxB := NewContext(cl.Machine(0)), NewContext(cl.Machine(1))
+		e := &pairEnv{cl: cl, ctxA: ctxA, ctxB: ctxB}
+		e.mrA = ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+		e.mrB = ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+		qa, err := NewUDQP(ctxA, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, err := NewUDQP(ctxB, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, qa, qb
+	}
+	e1, s1, r1 := mkUD()
+	e2, s2, r2 := mkUD()
+	now := sim.Time(0)
+	for step := 0; step < 40; step++ {
+		rng := rand.New(rand.NewSource(int64(step)))
+		size := 1 + rng.Intn(UDMTU/2)
+		inline := size <= MaxInline && rng.Intn(2) == 0
+		post := rng.Intn(3) > 0 // sometimes leave no buffer: datagram drops
+		if post {
+			if err := r1.PostRecv(RecvWR{SGE: SGE{Addr: e1.mrB.Addr(), Length: 1 << 20, MR: e1.mrB}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := r2.PostRecv(RecvWR{SGE: SGE{Addr: e2.mrB.Addr(), Length: 1 << 20, MR: e2.mrB}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c1, d1, err := s1.Send(now, r1.Handle(), []SGE{{Addr: e1.mrA.Addr(), Length: size, MR: e1.mrA}}, inline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, d2, trace, err := s2.SendTraced(now, r2.Handle(), []SGE{{Addr: e2.mrA.Addr(), Length: size, MR: e2.mrA}}, inline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1.Done != c2.Done || d1 != d2 {
+			t.Fatalf("step %d: plain %v/%v, traced %v/%v", step, c1.Done, d1, c2.Done, d2)
+		}
+		if d1 == post {
+			t.Fatalf("step %d: drop=%v with recv posted=%v", step, d1, post)
+		}
+		if got, _ := trace.At(StageCompleted); got != c2.Done {
+			t.Fatalf("step %d: trace completion %v != %v", step, got, c2.Done)
+		}
+		now = c1.Done + sim.Time(250)
+	}
+}
+
+// TestStageCounters checks the per-device counters the engine feeds: an
+// inline write rings one doorbell and fetches no payload by DMA; a
+// non-inline write costs a WQE fetch and one gather DMA spanning the SGL.
+func TestStageCounters(t *testing.T) {
+	e := newPair(t)
+	nic := e.cl.Machine(0).NIC()
+	base := nic.Counters()
+	if _, err := e.qpA.PostSend(0, &SendWR{
+		Opcode:     OpWrite,
+		Inline:     true,
+		SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 32, MR: e.mrA}},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := nic.Counters()
+	if c.Doorbells != base.Doorbells+1 {
+		t.Fatalf("doorbells %d -> %d", base.Doorbells, c.Doorbells)
+	}
+	if c.WQEFetches != base.WQEFetches || c.GatherOps != base.GatherOps {
+		t.Fatalf("inline write should not DMA: %+v -> %+v", base, c)
+	}
+
+	base = nic.Counters()
+	if _, err := e.qpA.PostSend(sim.Time(sim.Millisecond), &SendWR{
+		Opcode: OpWrite,
+		SGL: []SGE{
+			{Addr: e.mrA.Addr(), Length: 1024, MR: e.mrA},
+			{Addr: e.mrA.Addr() + 4096, Length: 1024, MR: e.mrA},
+		},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c = nic.Counters()
+	if c.Doorbells != base.Doorbells+1 || c.WQEFetches != base.WQEFetches+1 {
+		t.Fatalf("non-inline write doorbell/WQE: %+v -> %+v", base, c)
+	}
+	if c.GatherOps != base.GatherOps+1 || c.GatherFrags != base.GatherFrags+2 || c.GatherBytes != base.GatherBytes+2048 {
+		t.Fatalf("gather accounting: %+v -> %+v", base, c)
+	}
+	// The responder NIC scatters the payload.
+	rc := e.cl.Machine(1).NIC().Counters()
+	if rc.ScatterOps == 0 || rc.ScatterBytes == 0 {
+		t.Fatalf("responder scatter counters empty: %+v", rc)
+	}
+}

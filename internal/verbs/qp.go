@@ -1,30 +1,19 @@
 package verbs
 
 import (
-	"encoding/binary"
 	"fmt"
 
-	"rdmasem/internal/fabric"
 	"rdmasem/internal/sim"
-	"rdmasem/internal/topo"
 )
 
 // QP is one side of a connected queue pair. A QP is bound to a NIC port (and
 // thereby to that port's socket) and to the socket of the core that posts to
-// it; both bindings drive the NUMA charging of Section III-D.
+// it; both bindings drive the NUMA charging of Section III-D. All timing
+// lives in the shared op-pipeline engine (pipeline.go); this type only adds
+// the connection to a peer and the validation of connected-transport WRs.
 type QP struct {
-	id        uint64
-	ctx       *Context
-	transport Transport
-	port      int
-	core      topo.SocketID // socket of the posting core
-	peer      *QP
-
-	pipeline *sim.Resource // per-QP processing pipeline (Fig 1's 4.7 MOPS)
-	sendCQ   *CQ
-	recvCQ   *CQ
-	recvQ    []RecvWR
-	trace    *Trace // active stage recorder (PostSendTraced), else nil
+	qpState
+	peer *QP
 }
 
 // Connect creates a connected QP pair between two contexts over the given
@@ -37,20 +26,8 @@ func Connect(a *Context, portA int, b *Context, portB int, t Transport) (*QP, *Q
 	if t == UD {
 		return nil, nil, fmt.Errorf("%w: UD has no connected QPs", ErrBadTransport)
 	}
-	mk := func(c *Context, port int) *QP {
-		*c.nextQP++
-		return &QP{
-			id:        *c.nextQP,
-			ctx:       c,
-			transport: t,
-			port:      port,
-			core:      c.machine.PortSocket(port),
-			pipeline:  sim.NewResource(fmt.Sprintf("qp%d/pipeline", *c.nextQP)),
-			sendCQ:    NewCQ(),
-			recvCQ:    NewCQ(),
-		}
-	}
-	qa, qb := mk(a, portA), mk(b, portB)
+	qa := &QP{qpState: newQPState(a, t, portA, "qp")}
+	qb := &QP{qpState: newQPState(b, t, portB, "qp")}
 	qa.peer, qb.peer = qb, qa
 	return qa, qb, nil
 }
@@ -64,47 +41,8 @@ func MustConnect(a *Context, portA int, b *Context, portB int, t Transport) (*QP
 	return qa, qb
 }
 
-// ID returns the QP number.
-func (q *QP) ID() uint64 { return q.id }
-
-// Context returns the owning context.
-func (q *QP) Context() *Context { return q.ctx }
-
 // Peer returns the connected remote QP.
 func (q *QP) Peer() *QP { return q.peer }
-
-// Port returns the local NIC port index the QP is bound to.
-func (q *QP) Port() int { return q.port }
-
-// PortSocket returns the socket affiliated with the QP's port.
-func (q *QP) PortSocket() topo.SocketID { return q.ctx.machine.PortSocket(q.port) }
-
-// Core returns the socket of the posting core.
-func (q *QP) Core() topo.SocketID { return q.core }
-
-// BindCore pins the posting core to a socket (NUMA experiments).
-func (q *QP) BindCore(s topo.SocketID) { q.core = s }
-
-// Transport returns the QP's transport type.
-func (q *QP) Transport() Transport { return q.transport }
-
-// SendCQ returns the send completion queue.
-func (q *QP) SendCQ() *CQ { return q.sendCQ }
-
-// RecvCQ returns the receive completion queue.
-func (q *QP) RecvCQ() *CQ { return q.recvCQ }
-
-// PostRecv posts a receive buffer for incoming SEND traffic.
-func (q *QP) PostRecv(wr RecvWR) error {
-	if wr.SGE.MR == nil || wr.SGE.MR.ctx != q.ctx {
-		return fmt.Errorf("%w: receive buffer must be a local MR", ErrBadSGL)
-	}
-	if err := wr.SGE.MR.contains(wr.SGE.Addr, wr.SGE.Length); err != nil {
-		return err
-	}
-	q.recvQ = append(q.recvQ, wr)
-	return nil
-}
 
 // PostSend posts one work request at the given virtual time and returns its
 // completion. Equivalent to a one-entry PostSendList.
@@ -119,6 +57,13 @@ func (q *QP) PostSend(now sim.Time, wr *SendWR) (Completion, error) {
 // PostSendList posts a doorbell list: the whole batch costs a single MMIO
 // (Kalia et al.'s Doorbell mechanism, Section III-A), then each WR proceeds
 // as an independent network operation.
+//
+// Validation failures are detected up front and leave no effects. A runtime
+// failure mid-list (e.g. ErrRNR on a SEND) stops the walk at the failing WR:
+// the completions of the WRs that already executed — whose data effects and
+// CQEs are in place, exactly as on real hardware where earlier WRs in a
+// doorbell list are not undone — are returned as a prefix alongside the
+// error. len(comps) therefore identifies the failing WR: wrs[len(comps)].
 func (q *QP) PostSendList(now sim.Time, wrs []*SendWR) ([]Completion, error) {
 	if q.peer == nil {
 		return nil, ErrNotConnected
@@ -131,33 +76,8 @@ func (q *QP) PostSendList(now sim.Time, wrs []*SendWR) ([]Completion, error) {
 			return nil, err
 		}
 	}
-
-	nic := q.ctx.machine.NIC()
-	inlineBytes := 0
-	allInline := true
-	for _, wr := range wrs {
-		if wr.Inline {
-			inlineBytes += wr.TotalLength()
-		} else {
-			allInline = false
-		}
-	}
-	t := nic.Doorbell(now, len(wrs), inlineBytes)
-	q.trace.mark(StagePosted, t)
-	if !allInline {
-		t = nic.FetchWQEs(t, len(wrs))
-		q.trace.mark(StageWQEFetched, t)
-	}
-
-	comps := make([]Completion, 0, len(wrs))
-	for _, wr := range wrs {
-		c, err := q.executeOne(t, wr)
-		if err != nil {
-			return nil, err
-		}
-		comps = append(comps, c)
-	}
-	return comps, nil
+	comps, _, err := postList(&q.qpState, &q.peer.qpState, now, wrs)
+	return comps, err
 }
 
 // validate checks transport legality and SGL/MR bounds before any timing or
@@ -205,339 +125,9 @@ func (q *QP) validate(wr *SendWR) error {
 		if err != nil {
 			return err
 		}
-		if err := rmr.contains(wr.RemoteAddr, q.remoteSpan(wr)); err != nil {
+		if err := rmr.contains(wr.RemoteAddr, remoteSpan(wr)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
-
-// remoteSpan is the number of remote bytes the WR touches.
-func (q *QP) remoteSpan(wr *SendWR) int {
-	if wr.Opcode == OpCompSwap || wr.Opcode == OpFetchAdd {
-		return 8
-	}
-	return wr.TotalLength()
-}
-
-// executeOne walks one WR (already doorbelled at time t) through the
-// requester NIC, the wire, and the responder, applying its data effects and
-// returning the completion.
-func (q *QP) executeOne(t sim.Time, wr *SendWR) (Completion, error) {
-	m := q.ctx.machine
-	nic := m.NIC()
-	port := nic.Port(q.port)
-	tp := m.Topology().Params
-	total := wr.TotalLength()
-
-	// Requester-side metadata: QP context, per-SGE MR records + translations.
-	meta := nic.TouchQP(q.id)
-	for _, s := range wr.SGL {
-		meta = meta.Add(nic.TouchMR(s.MR.id))
-		meta = meta.Add(nic.Translate(s.Addr, s.Length))
-	}
-
-	// Posting-core NUMA penalty: MMIO and CQE polling cross QPI when the
-	// core is not on the port's socket (Table III's "alt core" rows). The
-	// crossing adds wire-visible latency and serializes in the chipset,
-	// inflating the per-QP pipeline occupancy.
-	var numaSvc sim.Duration
-	if q.core != q.PortSocket() {
-		t += 4 * tp.QPILatency
-		numaSvc += 2 * tp.QPILatency
-	}
-
-	// Payload gather (skipped for inline and for verbs with no outbound
-	// payload).
-	needGather := !wr.Inline && (wr.Opcode == OpWrite || wr.Opcode == OpSend)
-	if needGather {
-		sizes := make([]int, len(wr.SGL))
-		cross := 0
-		for i, s := range wr.SGL {
-			sizes[i] = s.Length
-			if s.MR.region.Socket() != q.PortSocket() {
-				cross++
-			}
-		}
-		if cross > 0 {
-			numaSvc += tp.QPILatency
-		}
-		t = nic.GatherDMA(t, sizes, cross, m.QPI(), tp.QPILatency)
-		q.trace.mark(StageGathered, t)
-	}
-
-	// Per-QP pipeline, then the port execution unit (with metadata-induced
-	// service inflation).
-	p := nic.Params()
-	var qpSvc, exSvc sim.Duration
-	switch wr.Opcode {
-	case OpWrite:
-		qpSvc, exSvc = p.QPWrite, p.ExecWrite
-	case OpRead:
-		qpSvc, exSvc = p.QPRead, p.ExecRead
-	case OpSend:
-		qpSvc, exSvc = p.QPWrite, p.ExecSend
-	default: // atomics share the read-style request pipeline
-		qpSvc, exSvc = p.QPWrite, p.ExecRead
-	}
-	t = q.pipeline.Delay(t+meta.Latency, qpSvc+numaSvc)
-	q.trace.mark(StagePipelined, t)
-	t = port.Execute(t, exSvc, meta.Service)
-	q.trace.mark(StageExecuted, t)
-
-	// Wire to the responder.
-	src := m.Endpoint(q.port)
-	dst := q.peer.ctx.machine.Endpoint(q.peer.port)
-	fab := q.fabric()
-	outbound := 0
-	switch wr.Opcode {
-	case OpWrite, OpSend:
-		outbound = total
-	case OpCompSwap:
-		outbound = 16
-	case OpFetchAdd:
-		outbound = 8
-	}
-	sendDone := t // local NIC is finished once the EU emits the packet
-	t = fab.Send(t, src, dst, outbound)
-	q.trace.mark(StageArrived, t)
-
-	// Responder side.
-	done, old, err := q.respond(t, wr, total)
-	if err != nil {
-		return Completion{}, err
-	}
-	q.trace.mark(StageResponded, done)
-	if q.transport == UC && wr.Opcode == OpWrite {
-		// Unreliable connection: no acknowledgement exists, so the send
-		// completes locally as soon as the datagram is on the wire. The
-		// responder-side costs above were still charged (the write lands),
-		// the requester just does not wait for them.
-		done = sendDone
-	}
-
-	if wr.Unsignaled {
-		// Selective signaling: no CQE is generated, saving its DMA. The
-		// returned completion still reports when the operation finished so
-		// callers can chain timings; ordering within the QP ensures a later
-		// signaled WR's CQE implies this one completed.
-		return Completion{WRID: wr.ID, Opcode: wr.Opcode, Done: done, Bytes: total, OldValue: old}, nil
-	}
-	done += CQECost
-	cqe := q.sendCQ.push(CQE{WRID: wr.ID, Opcode: wr.Opcode, Time: done, Bytes: total, OldValue: old})
-	return Completion{WRID: cqe.WRID, Opcode: cqe.Opcode, Done: cqe.Time, Bytes: cqe.Bytes, OldValue: cqe.OldValue}, nil
-}
-
-// respond models the responder NIC and applies the data effects, returning
-// the time the requester-side completion condition is met (ACK or response
-// received) before CQE generation.
-func (q *QP) respond(arrive sim.Time, wr *SendWR, total int) (sim.Time, uint64, error) {
-	peer := q.peer
-	rm := peer.ctx.machine
-	rnicDev := rm.NIC()
-	rport := rnicDev.Port(peer.port)
-	rtp := rm.Topology().Params
-	rp := rnicDev.Params()
-	fab := q.fabric()
-	src := q.ctx.machine.Endpoint(q.port)
-	dst := rm.Endpoint(peer.port)
-
-	// Responder metadata: the peer QP context plus the target MR/pages.
-	meta := rnicDev.TouchQP(peer.id)
-	if wr.Opcode.OneSided() {
-		rmr, err := peer.ctx.LookupMR(wr.RemoteKey)
-		if err != nil {
-			return 0, 0, err
-		}
-		meta = meta.Add(rnicDev.TouchMR(rmr.id))
-		meta = meta.Add(rnicDev.Translate(wr.RemoteAddr, q.remoteSpan(wr)))
-	}
-
-	crossesQPI := false
-	if wr.Opcode.OneSided() {
-		if sock, err := rm.Space().SocketOf(wr.RemoteAddr); err == nil {
-			crossesQPI = sock != rm.PortSocket(peer.port)
-		}
-	}
-	if crossesQPI {
-		// Cross-socket DMA at the responder serializes on the interconnect
-		// path and occupies the responder engine for longer.
-		meta.Service += 3 * rtp.QPILatency
-	}
-
-	switch wr.Opcode {
-	case OpWrite:
-		t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
-		// The ACK leaves once the NIC has accepted the payload; the DMA to
-		// host memory still occupies the PCIe/QPI pipes (contention) but
-		// completes asynchronously with respect to the requester.
-		ack := fab.Send(t, dst, src, 0)
-		cross := 0
-		if crossesQPI {
-			cross = 1
-			ack += rtp.QPILatency
-		}
-		rnicDev.ScatterDMA(t, []int{total}, cross, rm.QPI(), rtp.QPILatency)
-		if err := q.applyWrite(wr); err != nil {
-			return 0, 0, err
-		}
-		return ack, 0, nil
-
-	case OpRead:
-		// Translation-miss handling overlaps the long host DMA read on the
-		// response path, so only half the miss occupancy hits the engine.
-		t := rport.Execute(arrive+meta.Latency, rp.RespRead, meta.Service/2)
-		// DMA read from host DRAM: high latency, pipelined occupancy.
-		rcross := 0
-		if crossesQPI {
-			rcross = 1
-		}
-		t = rnicDev.GatherDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency) + rp.PCIeReadLatency
-		t = fab.Send(t, dst, src, total)
-		// Scatter into local buffers at the requester.
-		sizes := make([]int, len(wr.SGL))
-		cross := 0
-		for i, s := range wr.SGL {
-			sizes[i] = s.Length
-			if s.MR.region.Socket() != q.PortSocket() {
-				cross++
-			}
-		}
-		nic := q.ctx.machine.NIC()
-		t = nic.ScatterDMA(t, sizes, cross, q.ctx.machine.QPI(), q.ctx.machine.Topology().Params.QPILatency)
-		if err := q.applyRead(wr); err != nil {
-			return 0, 0, err
-		}
-		return t, 0, nil
-
-	case OpCompSwap, OpFetchAdd:
-		t := rport.ExecuteAtomic(arrive + meta.Latency)
-		// Locked PCIe read-modify-write against host memory.
-		rcross := 0
-		if crossesQPI {
-			rcross = 1
-		}
-		t = rnicDev.GatherDMA(t, []int{8}, rcross, rm.QPI(), rtp.QPILatency) + rp.PCIeReadLatency
-		rnicDev.ScatterDMA(t, []int{8}, rcross, rm.QPI(), rtp.QPILatency)
-		old, err := q.applyAtomic(wr)
-		if err != nil {
-			return 0, 0, err
-		}
-		t = fab.Send(t, dst, src, 8)
-		return t, old, nil
-
-	case OpSend:
-		if len(peer.recvQ) == 0 {
-			return 0, 0, ErrRNR
-		}
-		recv := peer.recvQ[0]
-		if recv.SGE.Length < total {
-			return 0, 0, fmt.Errorf("%w: receive buffer %d < payload %d", ErrBadSGL, recv.SGE.Length, total)
-		}
-		peer.recvQ = peer.recvQ[1:]
-		t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
-		rcross := 0
-		if recv.SGE.MR.region.Socket() != rm.PortSocket(peer.port) {
-			rcross = 1
-		}
-		dmaEnd := rnicDev.ScatterDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency)
-		if err := q.applySend(wr, recv); err != nil {
-			return 0, 0, err
-		}
-		peer.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
-		ack := fab.Send(t, dst, src, 0)
-		return ack, 0, nil
-	}
-	return 0, 0, fmt.Errorf("verbs: unknown opcode %v", wr.Opcode)
-}
-
-// fabric returns the shared switch (both ends see the same one).
-func (q *QP) fabric() *fabric.Fabric { return q.ctx.machine.Fabric() }
-
-// applyWrite gathers the SGL bytes and stores them contiguously at the
-// remote address.
-func (q *QP) applyWrite(wr *SendWR) error {
-	buf := make([]byte, 0, wr.TotalLength())
-	for _, s := range wr.SGL {
-		b, err := s.MR.region.Slice(s.Addr, s.Length)
-		if err != nil {
-			return err
-		}
-		buf = append(buf, b...)
-	}
-	return q.peer.ctx.machine.Space().WriteAt(wr.RemoteAddr, buf)
-}
-
-// applyRead loads the remote bytes and scatters them into the SGL.
-func (q *QP) applyRead(wr *SendWR) error {
-	buf := make([]byte, wr.TotalLength())
-	if err := q.peer.ctx.machine.Space().ReadAt(wr.RemoteAddr, buf); err != nil {
-		return err
-	}
-	off := 0
-	for _, s := range wr.SGL {
-		b, err := s.MR.region.Slice(s.Addr, s.Length)
-		if err != nil {
-			return err
-		}
-		copy(b, buf[off:off+s.Length])
-		off += s.Length
-	}
-	return nil
-}
-
-// applyAtomic performs the 8-byte remote read-modify-write and stores the
-// old value into the local SGE. RDMA atomics are big-endian on the wire but
-// operate on host-order integers; we use little-endian throughout for
-// simplicity.
-func (q *QP) applyAtomic(wr *SendWR) (uint64, error) {
-	space := q.peer.ctx.machine.Space()
-	var b [8]byte
-	if err := space.ReadAt(wr.RemoteAddr, b[:]); err != nil {
-		return 0, err
-	}
-	old := binary.LittleEndian.Uint64(b[:])
-	switch wr.Opcode {
-	case OpCompSwap:
-		if old == wr.CompareAdd {
-			binary.LittleEndian.PutUint64(b[:], wr.Swap)
-			if err := space.WriteAt(wr.RemoteAddr, b[:]); err != nil {
-				return 0, err
-			}
-		}
-	case OpFetchAdd:
-		binary.LittleEndian.PutUint64(b[:], old+wr.CompareAdd)
-		if err := space.WriteAt(wr.RemoteAddr, b[:]); err != nil {
-			return 0, err
-		}
-	}
-	// Store the old value into the local completion buffer.
-	s := wr.SGL[0]
-	local, err := s.MR.region.Slice(s.Addr, 8)
-	if err != nil {
-		return 0, err
-	}
-	binary.LittleEndian.PutUint64(local, old)
-	return old, nil
-}
-
-// applySend copies the gathered payload into the posted receive buffer.
-func (q *QP) applySend(wr *SendWR, recv RecvWR) error {
-	buf := make([]byte, 0, wr.TotalLength())
-	for _, s := range wr.SGL {
-		b, err := s.MR.region.Slice(s.Addr, s.Length)
-		if err != nil {
-			return err
-		}
-		buf = append(buf, b...)
-	}
-	dst, err := recv.SGE.MR.region.Slice(recv.SGE.Addr, len(buf))
-	if err != nil {
-		return err
-	}
-	copy(dst, buf)
-	return nil
-}
-
-// Pipeline exposes the per-QP pipeline resource (ablation benchmarks).
-func (q *QP) Pipeline() *sim.Resource { return q.pipeline }

@@ -50,13 +50,18 @@ type TraceEvent struct {
 }
 
 // Trace records the stage timeline of one work request. Obtain one with
-// QP.PostSendTraced; it is the tool behind the paper's Section III-D
-// decomposition T(RNIC->Socket) + T(Socket->Memory) + T(Network).
+// QP.PostSendTraced or UDQP.SendTraced; it is the tool behind the paper's
+// Section III-D decomposition T(RNIC->Socket) + T(Socket->Memory) +
+// T(Network). A Trace is a passive StageObserver on the op-pipeline engine:
+// it listens to the one shared stage walk rather than duplicating it.
 type Trace struct {
 	Start  sim.Time
 	Opcode Opcode
 	Events []TraceEvent
 }
+
+// ObserveStage implements StageObserver.
+func (t *Trace) ObserveStage(stage Stage, at sim.Time) { t.mark(stage, at) }
 
 func (t *Trace) mark(stage Stage, at sim.Time) {
 	if t == nil {
@@ -128,18 +133,31 @@ func (t *Trace) Render(w io.Writer) {
 }
 
 // PostSendTraced posts one work request and additionally returns its stage
-// timeline. Tracing does not change timing.
+// timeline. Tracing attaches a Trace as the QP's stage observer for the
+// duration of the post; it does not change timing.
 func (q *QP) PostSendTraced(now sim.Time, wr *SendWR) (Completion, *Trace, error) {
-	q.trace = &Trace{Start: now, Opcode: wr.Opcode}
-	defer func() { q.trace = nil }()
+	tr := &Trace{Start: now, Opcode: wr.Opcode}
+	q.SetStageObserver(tr)
+	defer q.SetStageObserver(nil)
 	comp, err := q.PostSend(now, wr)
 	if err != nil {
 		return Completion{}, nil, err
 	}
-	tr := q.activeTrace()
 	tr.mark(StageCompleted, comp.Done)
 	return comp, tr, nil
 }
 
-// activeTrace returns the trace being recorded, if any.
-func (q *QP) activeTrace() *Trace { return q.trace }
+// SendTraced is UDQP.Send with the stage timeline of the datagram attached.
+// The final StageCompleted event is the local send completion (UD never
+// waits for the receiver). Tracing does not change timing.
+func (q *UDQP) SendTraced(now sim.Time, dst AH, sgl []SGE, inline bool) (Completion, bool, *Trace, error) {
+	tr := &Trace{Start: now, Opcode: OpSend}
+	q.SetStageObserver(tr)
+	defer q.SetStageObserver(nil)
+	comp, dropped, err := q.Send(now, dst, sgl, inline)
+	if err != nil {
+		return Completion{}, false, nil, err
+	}
+	tr.mark(StageCompleted, comp.Done)
+	return comp, dropped, tr, nil
+}

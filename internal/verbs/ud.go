@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"rdmasem/internal/sim"
-	"rdmasem/internal/topo"
 )
 
 // UDMTU is the largest payload one unreliable datagram can carry.
@@ -16,15 +15,10 @@ const UDMTU = 4096
 // send completes as soon as the local NIC has emitted the datagram. This is
 // the transport Herd and FaSST build their RPCs on, and the one Section
 // III-E's discussion credits with faster two-sided locks and sequencers.
+// The stage walk itself lives in the shared op-pipeline engine (pipeline.go);
+// this type only contributes datagram validation and the drop-flag surface.
 type UDQP struct {
-	id       uint64
-	ctx      *Context
-	port     int
-	core     topo.SocketID
-	pipeline *sim.Resource
-	sendCQ   *CQ
-	recvCQ   *CQ
-	recvQ    []RecvWR
+	qpState
 }
 
 // AH is an address handle: the destination of a UD send.
@@ -40,47 +34,11 @@ func NewUDQP(ctx *Context, port int) (*UDQP, error) {
 	if port < 0 || port >= ctx.machine.NIC().Ports() {
 		return nil, fmt.Errorf("verbs: port %d out of range", port)
 	}
-	*ctx.nextQP++
-	return &UDQP{
-		id:       *ctx.nextQP,
-		ctx:      ctx,
-		port:     port,
-		core:     ctx.machine.PortSocket(port),
-		pipeline: sim.NewResource(fmt.Sprintf("udqp%d/pipeline", *ctx.nextQP)),
-		sendCQ:   NewCQ(),
-		recvCQ:   NewCQ(),
-	}, nil
+	return &UDQP{qpState: newQPState(ctx, UD, port, "udqp")}, nil
 }
 
 // Handle returns the address handle peers use to reach this QP.
 func (q *UDQP) Handle() AH { return AH{QP: q} }
-
-// ID returns the QP number.
-func (q *UDQP) ID() uint64 { return q.id }
-
-// Context returns the owning context.
-func (q *UDQP) Context() *Context { return q.ctx }
-
-// SendCQ returns the send completion queue.
-func (q *UDQP) SendCQ() *CQ { return q.sendCQ }
-
-// RecvCQ returns the receive completion queue.
-func (q *UDQP) RecvCQ() *CQ { return q.recvCQ }
-
-// BindCore pins the posting core to a socket.
-func (q *UDQP) BindCore(s topo.SocketID) { q.core = s }
-
-// PostRecv posts a receive buffer for incoming datagrams.
-func (q *UDQP) PostRecv(wr RecvWR) error {
-	if wr.SGE.MR == nil || wr.SGE.MR.ctx != q.ctx {
-		return fmt.Errorf("%w: receive buffer must be a local MR", ErrBadSGL)
-	}
-	if err := wr.SGE.MR.contains(wr.SGE.Addr, wr.SGE.Length); err != nil {
-		return err
-	}
-	q.recvQ = append(q.recvQ, wr)
-	return nil
-}
 
 // Send transmits the gathered SGL to the destination QP. It returns the
 // local send completion; whether the datagram is consumed depends on the
@@ -91,100 +49,38 @@ func (q *UDQP) Send(now sim.Time, dst AH, sgl []SGE, inline bool) (Completion, b
 	if dst.QP == nil {
 		return Completion{}, false, fmt.Errorf("%w: nil address handle", ErrBadSGL)
 	}
+	if err := q.validate(sgl, inline); err != nil {
+		return Completion{}, false, err
+	}
+	wr := &SendWR{Opcode: OpSend, SGL: sgl, Inline: inline}
+	comps, drops, err := postList(&q.qpState, &dst.QP.qpState, now, []*SendWR{wr})
+	if err != nil {
+		return Completion{}, false, err
+	}
+	return comps[0], drops[0], nil
+}
+
+// validate checks the datagram's SGL against the UD rules (local MRs only,
+// MTU, inline threshold) before any timing or data effects happen.
+func (q *UDQP) validate(sgl []SGE, inline bool) error {
 	if len(sgl) == 0 {
-		return Completion{}, false, fmt.Errorf("%w: no SGEs", ErrBadSGL)
+		return fmt.Errorf("%w: no SGEs", ErrBadSGL)
 	}
 	total := 0
 	for _, s := range sgl {
 		if s.MR == nil || s.MR.ctx != q.ctx {
-			return Completion{}, false, fmt.Errorf("%w: SGE must reference a local MR", ErrBadSGL)
+			return fmt.Errorf("%w: SGE must reference a local MR", ErrBadSGL)
 		}
 		if err := s.MR.contains(s.Addr, s.Length); err != nil {
-			return Completion{}, false, err
+			return err
 		}
 		total += s.Length
 	}
 	if total > UDMTU {
-		return Completion{}, false, fmt.Errorf("%w: datagram %d exceeds MTU %d", ErrBadSGL, total, UDMTU)
+		return fmt.Errorf("%w: datagram %d exceeds MTU %d", ErrBadSGL, total, UDMTU)
 	}
 	if inline && total > MaxInline {
-		return Completion{}, false, fmt.Errorf("%w: inline payload %d exceeds %d", ErrBadSGL, total, MaxInline)
+		return fmt.Errorf("%w: inline payload %d exceeds %d", ErrBadSGL, total, MaxInline)
 	}
-
-	m := q.ctx.machine
-	nic := m.NIC()
-	port := nic.Port(q.port)
-	tp := m.Topology().Params
-	p := nic.Params()
-
-	// Requester path: doorbell, optional WQE fetch + gather, pipeline, EU.
-	inlineBytes := 0
-	if inline {
-		inlineBytes = total
-	}
-	t := nic.Doorbell(now, 1, inlineBytes)
-	meta := nic.TouchQP(q.id)
-	if q.core != m.PortSocket(q.port) {
-		t += 4 * tp.QPILatency
-	}
-	if !inline {
-		t = nic.FetchWQEs(t, 1)
-		sizes := make([]int, len(sgl))
-		cross := 0
-		for i, s := range sgl {
-			sizes[i] = s.Length
-			meta = meta.Add(nic.TouchMR(s.MR.id))
-			meta = meta.Add(nic.Translate(s.Addr, s.Length))
-			if s.MR.region.Socket() != m.PortSocket(q.port) {
-				cross++
-			}
-		}
-		t = nic.GatherDMA(t, sizes, cross, m.QPI(), tp.QPILatency)
-	}
-	// UD keeps no connection state: the pipeline stage is cheaper than RC.
-	t = q.pipeline.Delay(t+meta.Latency, p.QPWrite*3/4)
-	t = port.Execute(t, p.ExecSend, meta.Service)
-
-	// The send completes locally once the datagram is on the wire.
-	localDone := t + CQECost
-	cqe := q.sendCQ.push(CQE{Opcode: OpSend, Time: localDone, Bytes: total})
-
-	// Delivery at the receiver.
-	peer := dst.QP
-	rm := peer.ctx.machine
-	fab := m.Fabric()
-	arrive := fab.Send(t, m.Endpoint(q.port), rm.Endpoint(peer.port), total)
-	rmeta := rm.NIC().TouchQP(peer.id)
-	rt := rm.NIC().Port(peer.port).Execute(arrive+rmeta.Latency, rm.NIC().Params().RespWrite, rmeta.Service)
-	if len(peer.recvQ) == 0 {
-		// No posted receive: silently dropped.
-		return Completion{Opcode: OpSend, Done: cqe.Time, Bytes: total}, true, nil
-	}
-	recv := peer.recvQ[0]
-	if recv.SGE.Length < total {
-		return Completion{}, false, fmt.Errorf("%w: receive buffer %d < datagram %d", ErrBadSGL, recv.SGE.Length, total)
-	}
-	peer.recvQ = peer.recvQ[1:]
-	rcross := 0
-	if recv.SGE.MR.region.Socket() != rm.PortSocket(peer.port) {
-		rcross = 1
-	}
-	dmaEnd := rm.NIC().ScatterDMA(rt, []int{total}, rcross, rm.QPI(), rm.Topology().Params.QPILatency)
-
-	// Copy the payload.
-	buf := make([]byte, 0, total)
-	for _, s := range sgl {
-		b, err := s.MR.region.Slice(s.Addr, s.Length)
-		if err != nil {
-			return Completion{}, false, err
-		}
-		buf = append(buf, b...)
-	}
-	dstB, err := recv.SGE.MR.region.Slice(recv.SGE.Addr, total)
-	if err != nil {
-		return Completion{}, false, err
-	}
-	copy(dstB, buf)
-	peer.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
-	return Completion{Opcode: OpSend, Done: cqe.Time, Bytes: total}, false, nil
+	return nil
 }

@@ -63,19 +63,18 @@ var (
 )
 
 // Context is an opened device on one machine: the registry of MRs and the
-// factory for QPs.
+// factory for QPs. QP numbers come from the machine's cluster-wide
+// allocator, so a Context carries no package-level state and two clusters
+// simulated concurrently stay fully hermetic.
 type Context struct {
 	machine *cluster.Machine
 	mrs     map[uint64]*MR
 	nextMR  uint64
-	nextQP  *uint64 // shared cluster-wide QP id counter
 }
-
-var qpCounter uint64
 
 // NewContext opens the (single) RNIC of a machine.
 func NewContext(m *cluster.Machine) *Context {
-	return &Context{machine: m, mrs: make(map[uint64]*MR), nextQP: &qpCounter}
+	return &Context{machine: m, mrs: make(map[uint64]*MR)}
 }
 
 // Machine returns the underlying host.

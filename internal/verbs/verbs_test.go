@@ -430,7 +430,7 @@ func TestCQPollRespectsTime(t *testing.T) {
 
 func TestPostOnDisconnectedQP(t *testing.T) {
 	e := newPair(t)
-	q := &QP{ctx: e.ctxA}
+	q := &QP{qpState: qpState{ctx: e.ctxA}}
 	if _, err := q.PostSend(0, &SendWR{}); !errors.Is(err, ErrNotConnected) {
 		t.Fatalf("err=%v, want ErrNotConnected", err)
 	}
