@@ -12,6 +12,15 @@
 // scales shrink horizons and input sizes proportionally. -parallel runs
 // each experiment's independent sweep points on a worker pool; results
 // (and rendered reports) are identical at any width.
+//
+// -faults attaches a seeded lossy-fabric model to every experiment cluster:
+//
+//	rdmabench -exp fig01 -faults seed=1,drop=0.01
+//
+// The plan is a comma-separated key=value list (seed, drop, corrupt, delayp,
+// delay); the same plan and seed always reproduce the same run. After each
+// experiment a fault/reliability summary line reports segments offered,
+// drops, corruptions, retransmissions, timeouts and NAKs.
 package main
 
 import (
@@ -21,6 +30,8 @@ import (
 	"time"
 
 	"rdmasem/internal/bench"
+	"rdmasem/internal/fabric"
+	"rdmasem/internal/verbs"
 )
 
 func main() {
@@ -28,10 +39,21 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "sweep scale in (0,1]")
 	format := flag.String("format", "text", "output format: text, csv, chart")
 	parallel := flag.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS)")
+	faults := flag.String("faults", "", "lossy-fabric plan, e.g. seed=1,drop=0.01 (empty = lossless)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
+
+	lossy := *faults != ""
+	if lossy {
+		plan, err := fabric.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdmabench: %v\n", err)
+			os.Exit(2)
+		}
+		bench.SetFaultPlan(plan)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -56,6 +78,14 @@ func main() {
 			os.Exit(1)
 		}
 		report.RenderFormat(os.Stdout, *format)
+		if lossy {
+			ft := fabric.TakeTelemetry()
+			rt := verbs.TakeRelTelemetry()
+			fmt.Printf("faults: segments=%d drops=%d corrupts=%d delays=%d\n",
+				ft.Segments, ft.Drops, ft.Corrupts, ft.Delays)
+			fmt.Printf("reliability: segments=%d retransmits=%d timeouts=%d naks=%d rnr_naks=%d retries_exhausted=%d silent_drops=%d\n",
+				rt.Segments, rt.Retransmits, rt.AckTimeouts, rt.NaksReceived, rt.RNRNaks, rt.RetriesExhausted, rt.SilentDrops)
+		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }

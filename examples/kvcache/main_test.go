@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rdmasem/internal/sim"
+)
+
+func TestKVCacheSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 100*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"basic hashtable", "NUMA-aware routing", "hot-entry consolidation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"rdmasem/internal/cluster"
 	"rdmasem/internal/sim"
@@ -15,12 +17,18 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// The paper's testbed shape, shrunk to two machines.
 	cfg := cluster.DefaultConfig()
 	cfg.Machines = 2
 	cl, err := cluster.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Open both devices and connect one RC queue pair between the
@@ -29,7 +37,7 @@ func main() {
 	remote := verbs.NewContext(cl.Machine(1))
 	qp, _, err := verbs.Connect(local, 1, remote, 1, verbs.RC)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Register a local buffer and a remote region.
@@ -48,10 +56,10 @@ func main() {
 		RemoteKey:  rbuf.RKey(),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("WRITE %-3d bytes  latency %v\n", len(msg), comp.Done-now)
-	fmt.Printf("  remote memory now holds: %q\n", rbuf.Region().Bytes()[:len(msg)])
+	fmt.Fprintf(w, "WRITE %-3d bytes  latency %v\n", len(msg), comp.Done-now)
+	fmt.Fprintf(w, "  remote memory now holds: %q\n", rbuf.Region().Bytes()[:len(msg)])
 
 	// One-sided READ: pull it back.
 	now = comp.Done
@@ -62,9 +70,9 @@ func main() {
 		RemoteKey:  rbuf.RKey(),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("READ  %-3d bytes  latency %v\n", len(msg), comp.Done-now)
+	fmt.Fprintf(w, "READ  %-3d bytes  latency %v\n", len(msg), comp.Done-now)
 
 	// Remote fetch-and-add: the building block of sequencers and logs.
 	now = comp.Done
@@ -77,9 +85,10 @@ func main() {
 			CompareAdd: 10,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("FETCH_ADD(+10)   latency %v  old value %d\n", comp.Done-now, comp.OldValue)
+		fmt.Fprintf(w, "FETCH_ADD(+10)   latency %v  old value %d\n", comp.Done-now, comp.OldValue)
 		now = comp.Done
 	}
+	return nil
 }

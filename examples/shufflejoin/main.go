@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"rdmasem/internal/apps/join"
 	"rdmasem/internal/cluster"
@@ -16,9 +18,14 @@ import (
 )
 
 func main() {
-	const tuples = 1 << 16
-	inner := workload.Relation(tuples, tuples/2, 7)
-	outer := workload.Relation(tuples, tuples/2, 9)
+	if err := run(os.Stdout, 1<<16); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, tuples int) error {
+	inner := workload.Relation(tuples, uint64(tuples/2), 7)
+	outer := workload.Relation(tuples, uint64(tuples/2), 9)
 
 	// Reference result.
 	counts := map[uint64]int64{}
@@ -30,8 +37,8 @@ func main() {
 		want += counts[t.Key]
 	}
 
-	fmt.Printf("joining two relations of %d tuples (%d matches expected)\n\n", tuples, want)
-	fmt.Printf("%-28s %12s %12s %10s\n", "configuration", "partition", "total", "speedup")
+	fmt.Fprintf(w, "joining two relations of %d tuples (%d matches expected)\n\n", tuples, want)
+	fmt.Fprintf(w, "%-28s %12s %12s %10s\n", "configuration", "partition", "total", "speedup")
 
 	var baseline float64
 	for _, cfg := range []struct {
@@ -45,22 +52,23 @@ func main() {
 	} {
 		cl, err := cluster.New(cluster.DefaultConfig())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := join.Run(cl, cfg.c, inner, outer)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if res.Matches != want {
-			log.Fatalf("%s: wrong result %d != %d", cfg.label, res.Matches, want)
+			return fmt.Errorf("%s: wrong result %d != %d", cfg.label, res.Matches, want)
 		}
 		if baseline == 0 {
 			baseline = res.Elapsed.Seconds()
 		}
-		fmt.Printf("%-28s %12v %12v %9.1fx\n",
+		fmt.Fprintf(w, "%-28s %12v %12v %9.1fx\n",
 			cfg.label, res.Partition, res.Elapsed, baseline/res.Elapsed.Seconds())
 	}
-	fmt.Println("\npaper (Fig 17): all optimizations give 5.3x over the single machine")
+	fmt.Fprintln(w, "\npaper (Fig 17): all optimizations give 5.3x over the single machine")
+	return nil
 }
 
 func mk(execs, batch int, numa bool) join.Config {

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShuffleJoinSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"single machine", "16 executors, batch 16", "matches expected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

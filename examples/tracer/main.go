@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,17 +19,23 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cfg := cluster.DefaultConfig()
 	cfg.Machines = 2
 	cl, err := cluster.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ctxA := verbs.NewContext(cl.Machine(0))
 	ctxB := verbs.NewContext(cl.Machine(1))
 
-	fmt.Println("64B WRITE under the four placements of Table III:")
-	fmt.Println()
+	fmt.Fprintln(w, "64B WRITE under the four placements of Table III:")
+	fmt.Fprintln(w)
 	for _, p := range []struct {
 		label        string
 		core         topo.SocketID
@@ -41,7 +48,7 @@ func main() {
 	} {
 		qp, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		qp.BindCore(p.core)
 		lbuf := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(p.lSock, 4096, 0))
@@ -54,16 +61,17 @@ func main() {
 		}
 		// Warm the metadata caches, then trace a steady-state operation.
 		if _, err := qp.PostSend(0, wr); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		_, tr, err := qp.PostSendTraced(100*sim.Microsecond, wr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("--- %s ---\n", p.label)
-		tr.Render(os.Stdout)
+		fmt.Fprintf(w, "--- %s ---\n", p.label)
+		tr.Render(w)
 		b := tr.Decompose()
-		fmt.Printf("  III-D decomposition: RNIC->Socket %v | Network %v | Socket->Memory %v\n\n",
+		fmt.Fprintf(w, "  III-D decomposition: RNIC->Socket %v | Network %v | Socket->Memory %v\n\n",
 			b.RNICToSocket, b.Network, b.SocketToMemory)
 	}
+	return nil
 }

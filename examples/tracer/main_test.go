@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "III-D decomposition"); got != 4 {
+		t.Errorf("expected 4 placement traces, got %d:\n%s", got, out)
+	}
+}

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"rdmasem/internal/apps/dlog"
 	"rdmasem/internal/cluster"
@@ -18,28 +20,35 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, 2*sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, horizon sim.Duration) error {
 	const engines = 7
-	fmt.Printf("distributed log, %d transaction engines\n\n", engines)
-	fmt.Printf("%-8s %14s\n", "batch", "records MOPS")
+	fmt.Fprintf(w, "distributed log, %d transaction engines\n\n", engines)
+	fmt.Fprintf(w, "%-8s %14s\n", "batch", "records MOPS")
 
 	var first float64
 	for _, batch := range []int{1, 4, 16, 32} {
 		cl, err := cluster.New(cluster.DefaultConfig())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg := dlog.DefaultConfig()
 		cfg.Batch = batch
 		cfg.LogBytes = 256 << 20
 		l, err := dlog.NewLog(cl.Machine(0), cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		var opErr error
 		var clients []*sim.Client
 		for i := 0; i < engines; i++ {
 			e, err := dlog.NewEngine(i, cl.Machine(1+i%7), topo.SocketID(i%2), l)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			clients = append(clients, &sim.Client{
 				PostCost: 150,
@@ -47,31 +56,37 @@ func main() {
 				Op: func(post sim.Time) sim.Time {
 					_, done, err := e.AppendBatch(post)
 					if err != nil {
-						log.Fatal(err)
+						if opErr == nil {
+							opErr = err
+						}
+						return post
 					}
 					return done
 				},
 			})
 		}
-		const horizon = 2 * sim.Millisecond
 		res := sim.RunClosedLoop(clients, horizon)
+		if opErr != nil {
+			return opErr
+		}
 		mops := float64(res.Completed) * float64(batch) / horizon.Seconds() / 1e6
 		if first == 0 {
 			first = mops
 		}
-		fmt.Printf("%-8d %11.2f  (%.1fx)\n", batch, mops, mops/first)
+		fmt.Fprintf(w, "%-8d %11.2f  (%.1fx)\n", batch, mops, mops/first)
 
 		// Verify the head of the log: dense sequence, intact records.
 		head := l.Head()
 		for seq := uint64(0); seq < head && seq < 1024; seq++ {
 			rec, err := l.Record(seq)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if !workload.CheckValue(rec, seq) {
-				log.Fatalf("record %d corrupt", seq)
+				return fmt.Errorf("record %d corrupt", seq)
 			}
 		}
 	}
-	fmt.Println("\npaper (Fig 19): batch 32 delivers 9.1x the unbatched throughput at 7 engines")
+	fmt.Fprintln(w, "\npaper (Fig 19): batch 32 delivers 9.1x the unbatched throughput at 7 engines")
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rdmasem/internal/sim"
+)
+
+func TestTranslogSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 100*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "("); got < 4 {
+		t.Errorf("expected a row per batch size:\n%s", out)
+	}
+	if !strings.Contains(out, "batch") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}

@@ -197,8 +197,13 @@ func (e *Engine) AppendBatch(now sim.Time) (uint64, sim.Time, error) {
 		RemoteAddr: e.log.logMR.Addr() + mem.Addr(int(first)*cfg.RecordSize),
 		RemoteKey:  e.log.logMR.RKey(),
 	})
+	if err == nil {
+		err = comp.Err()
+	}
 	if err != nil {
-		return 0, 0, err
+		// The reserved extent stays unfilled; readers must stop at the
+		// last successfully appended record.
+		return 0, 0, fmt.Errorf("dlog: append of batch at %d failed: %w", first, err)
 	}
 	e.appends++
 	return first, comp.Done, nil
@@ -255,8 +260,11 @@ func (r *Reader) Replay(now sim.Time, from, to uint64, fn func(seq uint64, recor
 			RemoteAddr: r.log.logMR.Addr() + mem.Addr(int(seq)*rs),
 			RemoteKey:  r.log.logMR.RKey(),
 		})
+		if err == nil {
+			err = comp.Err()
+		}
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("dlog: replay READ at seq %d failed: %w", seq, err)
 		}
 		now = comp.Done
 		for i := 0; i < n; i++ {

@@ -392,7 +392,9 @@ func (f *FrontEnd) putCold(now sim.Time, key uint64, value []byte) (sim.Time, er
 		scr := verbs.SGE{Addr: f.scratch.Addr(), Length: 8, MR: f.scratch}
 		old, at, err := f.engine.FetchAdd(now, f.core, scr, 0, b.versionAddr(key), b.version, 1)
 		if err != nil {
-			return 0, err
+			// A failed version fetch means the epoch was never claimed; no
+			// entry is written with a stale version.
+			return 0, fmt.Errorf("hashtable: version fetch-add: %w", err)
 		}
 		f.epoch = old + 1
 		f.epochSeq = 0

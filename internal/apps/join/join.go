@@ -122,6 +122,7 @@ type executorState struct {
 
 	cpu  sim.Duration
 	last sim.Time // completion of this executor's latest partition action
+	err  error    // first partition-phase failure (e.g. a QP gone to error state)
 }
 
 // runDistributed runs the partition phase on the simulated fabric and then
@@ -239,12 +240,20 @@ func runDistributed(cl *cluster.Cluster, cfg Config, inner, outer []workload.Tup
 			Window:   4,
 			MaxOps:   int64(len(stream)),
 			Op: func(post sim.Time) sim.Time {
+				if ex.err != nil {
+					// A previous op failed (QP in error state): burn the
+					// remaining stream without touching the wire so the loop
+					// drains and the error surfaces below.
+					pos++
+					return post
+				}
 				t := stream[pos]
 				isInner := pos < innerCount
 				pos++
 				d, err := ex.partitionOne(post, cfg, ringBytes, execs, t, isInner)
 				if err != nil {
-					panic(err)
+					ex.err = err
+					return post
 				}
 				if d > ex.last {
 					ex.last = d
@@ -254,6 +263,11 @@ func runDistributed(cl *cluster.Cluster, cfg Config, inner, outer []workload.Tup
 		})
 	}
 	sim.RunClosedLoop(clients, sim.MaxTime/4)
+	for _, ex := range execs {
+		if ex.err != nil {
+			return Result{}, fmt.Errorf("join: executor %d partition phase: %w", ex.id, ex.err)
+		}
+	}
 	// Drain pending batches.
 	var partitionEnd sim.Time
 	for _, ex := range execs {

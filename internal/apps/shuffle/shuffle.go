@@ -268,7 +268,9 @@ func (ex *Executor) flush(now sim.Time, dst int) (sim.Time, error) {
 
 	res, err := ex.batchers[dst].WriteBatch(now+ex.proxy[dst], frags, remote)
 	if err != nil {
-		return 0, err
+		// The ring slot was never advanced, so the receiver cannot observe
+		// a partial batch.
+		return 0, fmt.Errorf("shuffle: batch to executor %d: %w", dst, err)
 	}
 	ex.cpu += res.CPU
 	ex.flushes++

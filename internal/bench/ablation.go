@@ -221,7 +221,7 @@ func AblationQPILatency(scale float64) (*Report, error) {
 // customPairThroughput builds a pair on a custom cluster config and measures
 // random 32B write throughput over the given remote region.
 func customPairThroughput(cfg cluster.Config, region int, h sim.Duration) (float64, error) {
-	cl, err := cluster.New(cfg)
+	cl, err := newCluster(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -263,7 +263,7 @@ func customPairThroughput(cfg cluster.Config, region int, h sim.Duration) (float
 
 // customPairLatency measures the warm 32B write latency on a custom config.
 func customPairLatency(cfg cluster.Config) (float64, error) {
-	cl, err := cluster.New(cfg)
+	cl, err := newCluster(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -296,7 +296,7 @@ func customPairLatency(cfg cluster.Config) (float64, error) {
 
 // customPlacementLatency measures best- or worst-placement write latency.
 func customPlacementLatency(cfg cluster.Config, worst bool) (float64, error) {
-	cl, err := cluster.New(cfg)
+	cl, err := newCluster(cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"rdmasem/internal/cluster"
+	"rdmasem/internal/fabric"
 	"rdmasem/internal/mem"
 	"rdmasem/internal/sim"
 	"rdmasem/internal/stats"
@@ -62,6 +63,23 @@ func (r *Report) RenderFormat(w io.Writer, format string) {
 			fmt.Fprintf(w, "note: %s\n", n)
 		}
 	}
+}
+
+// faultPlan, when set, is attached to every cluster the drivers build.
+var faultPlan *fabric.FaultPlan
+
+// SetFaultPlan attaches a seeded lossy-fabric model to all subsequently
+// built experiment clusters (nil restores the lossless default). Call it
+// before Run, never during one: drivers read it concurrently from sweep
+// workers.
+func SetFaultPlan(p *fabric.FaultPlan) { faultPlan = p }
+
+// newCluster builds an experiment cluster with the bench-wide fault plan
+// attached. All drivers construct their clusters through this helper so a
+// single SetFaultPlan covers every figure and table.
+func newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
+	cfg.Faults = faultPlan
+	return cluster.New(cfg)
 }
 
 // Driver runs one experiment at the given scale.
@@ -121,7 +139,7 @@ type pairEnv struct {
 func newPair(remoteBytes int) (*pairEnv, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.Machines = 2
-	cl, err := cluster.New(cfg)
+	cl, err := newCluster(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -28,7 +28,7 @@ type lockCluster struct {
 func newLockCluster(n int) (*lockCluster, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.Machines = n + 1
-	cl, err := cluster.New(cfg)
+	cl, err := newCluster(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,7 @@ func init() {
 // write workload with the given number of front-ends (spread over 7 client
 // machines x 2 sockets, as on the paper's 8-machine testbed).
 func hashtableMOPS(level hashtable.Level, theta, frontEnds int, hotFrac float64, h sim.Duration) (float64, error) {
-	cl, err := cluster.New(cluster.DefaultConfig())
+	cl, err := newCluster(cluster.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}

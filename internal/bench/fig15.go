@@ -13,7 +13,7 @@ func init() { register("fig15", Fig15Shuffle) }
 
 // shuffleMOPS measures aggregate entries/s of a shuffle deployment.
 func shuffleMOPS(executors, batch int, strategy core.Strategy, numa bool, h sim.Duration) (float64, error) {
-	cl, err := cluster.New(cluster.DefaultConfig())
+	cl, err := newCluster(cluster.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}

@@ -21,7 +21,7 @@ func init() {
 // joinRun executes one distributed join configuration over relations of n
 // tuples each.
 func joinRun(executors, batch int, numa bool, n int) (join.Result, error) {
-	cl, err := cluster.New(cluster.DefaultConfig())
+	cl, err := newCluster(cluster.DefaultConfig())
 	if err != nil {
 		return join.Result{}, err
 	}

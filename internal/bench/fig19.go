@@ -12,7 +12,7 @@ func init() { register("fig19", Fig19DistributedLog) }
 
 // dlogMOPS measures aggregate appended records per second.
 func dlogMOPS(engines, batch int, numa bool, h sim.Duration) (float64, error) {
-	cl, err := cluster.New(cluster.DefaultConfig())
+	cl, err := newCluster(cluster.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}

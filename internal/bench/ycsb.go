@@ -47,7 +47,7 @@ func YCSBMixed(scale float64) (*Report, error) {
 func ycsbMOPS(level hashtable.Level, readPct int, h sim.Duration) (float64, error) {
 	const keySpace = 1 << 14
 	const frontEnds = 8
-	cl, err := cluster.New(cluster.DefaultConfig())
+	cl, err := newCluster(cluster.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}

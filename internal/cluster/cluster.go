@@ -21,6 +21,10 @@ type Config struct {
 	Topo         topo.Params
 	NIC          rnic.Params
 	Fabric       fabric.Params
+	// Faults optionally attaches a seeded lossy-fabric model (drops,
+	// corruption, delay) to the switch. nil — the default — is a lossless
+	// fabric and changes nothing. Shorthand for setting Fabric.Faults.
+	Faults *fabric.FaultPlan
 }
 
 // DefaultConfig returns the paper's eight-machine testbed. Each socket gets
@@ -59,6 +63,9 @@ type Cluster struct {
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Machines < 1 {
 		return nil, fmt.Errorf("cluster: need at least one machine, got %d", cfg.Machines)
+	}
+	if cfg.Faults != nil {
+		cfg.Fabric.Faults = cfg.Faults
 	}
 	fab, err := fabric.New(cfg.Fabric)
 	if err != nil {

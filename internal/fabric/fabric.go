@@ -18,6 +18,7 @@ type Params struct {
 	Propagation   sim.Duration // cable + SerDes latency, one way
 	SwitchLatency sim.Duration // cut-through forwarding latency
 	FrameOverhead int          // per-message wire overhead bytes (headers/CRC)
+	Faults        *FaultPlan   // optional lossy-fabric model; nil = lossless
 }
 
 // DefaultParams returns the 40 Gbps InfiniBand calibration.
@@ -38,15 +39,17 @@ func (p Params) Validate() error {
 	if p.FrameOverhead < 0 {
 		return fmt.Errorf("fabric: frame overhead must be nonnegative")
 	}
-	return nil
+	return p.Faults.Validate()
 }
 
 // Endpoint is one registered switch port (one NIC port plugged into the
 // switch).
 type Endpoint struct {
-	name string
-	tx   *sim.Pipe
-	rx   *sim.Pipe
+	name     string
+	id       int // registration index; keys the fault stream
+	tx       *sim.Pipe
+	rx       *sim.Pipe
+	faultSeq uint64 // segments offered to the fault model on this link
 }
 
 // Name returns the endpoint's diagnostic name.
@@ -60,8 +63,9 @@ func (e *Endpoint) RxUtilization(horizon sim.Time) float64 { return e.rx.Utiliza
 
 // Fabric is the switch plus all registered endpoints.
 type Fabric struct {
-	params    Params
-	endpoints []*Endpoint
+	params     Params
+	endpoints  []*Endpoint
+	faultStats FaultStats
 }
 
 // New creates an empty fabric.
@@ -79,6 +83,7 @@ func (f *Fabric) Params() Params { return f.params }
 func (f *Fabric) Register(name string) *Endpoint {
 	e := &Endpoint{
 		name: name,
+		id:   len(f.endpoints),
 		tx:   sim.NewPipe(name+"/tx", f.params.LinkBandwidth, 0),
 		rx:   sim.NewPipe(name+"/rx", f.params.LinkBandwidth, 0),
 	}
@@ -96,9 +101,10 @@ func (f *Fabric) Endpoints() []*Endpoint {
 // Send moves one message of size payload bytes from one endpoint to another,
 // returning the time the last byte lands in the destination NIC. The path
 // is: serialize on the sender's tx link, cross the switch, contend on the
-// receiver's rx link. Sending to the local endpoint is a loopback and only
-// pays switch latency (the paper's benchmarks never do this, but the apps'
-// self-partitions may).
+// receiver's rx link. Sending to the local endpoint is a loopback: it skips
+// the tx link and the propagation delay but still pays switch latency and
+// serializes the framed message on the port's rx pipe — self-partition
+// traffic is not free and contends with genuine inbound traffic.
 func (f *Fabric) Send(now sim.Time, from, to *Endpoint, payload int) sim.Time {
 	if from == nil || to == nil {
 		panic("fabric: nil endpoint")
@@ -108,7 +114,8 @@ func (f *Fabric) Send(now sim.Time, from, to *Endpoint, payload int) sim.Time {
 	}
 	wire := payload + f.params.FrameOverhead
 	if from == to {
-		return now + f.params.SwitchLatency
+		_, rxEnd := to.rx.Transfer(now+f.params.SwitchLatency, wire)
+		return rxEnd
 	}
 	txStart, _ := from.tx.Transfer(now, wire)
 	rxArrival := txStart + f.params.Propagation + f.params.SwitchLatency
@@ -116,10 +123,12 @@ func (f *Fabric) Send(now sim.Time, from, to *Endpoint, payload int) sim.Time {
 	return rxEnd
 }
 
-// Reset clears all link queues (between experiment runs).
+// Reset clears all link queues and fault streams (between experiment runs).
 func (f *Fabric) Reset() {
+	f.faultStats = FaultStats{}
 	for _, e := range f.endpoints {
 		e.tx.Reset()
 		e.rx.Reset()
+		e.faultSeq = 0
 	}
 }

@@ -76,9 +76,28 @@ func TestIncastContention(t *testing.T) {
 func TestLoopback(t *testing.T) {
 	f := newFabric(t)
 	a := f.Register("a")
+	p := f.Params()
 	end := f.Send(100, a, a, 1<<20)
-	if end != 100+f.Params().SwitchLatency {
-		t.Fatalf("loopback should only pay switch latency, got %v", end-100)
+	want := sim.Time(100) + p.SwitchLatency + sim.TransferTime(1<<20+p.FrameOverhead, p.LinkBandwidth)
+	if end != want {
+		t.Fatalf("loopback = %v, want switch latency + rx serialization %v", end-100, want-100)
+	}
+	if a.RxUtilization(end) == 0 {
+		t.Fatal("loopback must charge the rx pipe")
+	}
+	if a.TxUtilization(end) != 0 {
+		t.Fatal("loopback must not charge the tx pipe")
+	}
+	// Self-sends serialize behind each other and behind genuine inbound
+	// traffic on the same rx pipe.
+	second := f.Send(100, a, a, 1<<20)
+	if second <= end {
+		t.Fatal("second loopback must queue behind the first on rx")
+	}
+	b := f.Register("b")
+	inbound := f.Send(100, b, a, 1<<20)
+	if inbound <= second {
+		t.Fatal("inbound traffic must contend with loopback on rx")
 	}
 }
 

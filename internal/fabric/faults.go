@@ -1,0 +1,266 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"rdmasem/internal/sim"
+)
+
+// FaultPlan describes a seeded, deterministic lossy-fabric model. Every
+// segment handed to Fabric.Deliver draws its fate from a counter-based hash
+// of (Seed, sending link, per-link sequence number), so the same plan on the
+// same traffic always produces the same drops, corruptions and delays —
+// across runs, hosts and sweep-pool widths. A nil plan disables injection
+// entirely: Deliver then takes exactly the Send path, bit for bit.
+type FaultPlan struct {
+	Seed    int64   // fault-stream seed; same seed => same fault pattern
+	Drop    float64 // per-segment probability the switch loses the segment
+	Corrupt float64 // per-segment probability of an ICRC failure at the receiver
+	DelayP  float64 // per-segment probability of extra queueing delay
+	Delay   sim.Duration
+	// Delay is the maximum extra delay; the actual delay is uniform in
+	// [0, Delay] when the DelayP draw hits.
+}
+
+// Validate checks the plan's parameters.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"corrupt", p.Corrupt}, {"delayp", p.DelayP}} {
+		if f.v < 0 || f.v > 1 || f.v != f.v {
+			return fmt.Errorf("fabric: fault %s probability %v outside [0,1]", f.name, f.v)
+		}
+	}
+	if p.Delay < 0 {
+		return fmt.Errorf("fabric: negative fault delay %v", p.Delay)
+	}
+	if p.DelayP > 0 && p.Delay == 0 {
+		return fmt.Errorf("fabric: delayp %v set with zero delay bound", p.DelayP)
+	}
+	return nil
+}
+
+// Active reports whether the plan can ever perturb a segment.
+func (p *FaultPlan) Active() bool {
+	return p != nil && (p.Drop > 0 || p.Corrupt > 0 || p.DelayP > 0)
+}
+
+// String renders the plan in the same key=value form ParseFaultPlan accepts.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.Drop))
+	}
+	if p.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.Corrupt))
+	}
+	if p.DelayP > 0 {
+		parts = append(parts, fmt.Sprintf("delayp=%g", p.DelayP))
+	}
+	if p.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%d", int64(p.Delay)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultPlan parses a comma-separated key=value plan description, e.g.
+//
+//	seed=7,drop=0.01,corrupt=0.001,delayp=0.05,delay=2000
+//
+// Keys: seed (int), drop/corrupt/delayp (probabilities in [0,1]), delay
+// (max extra delay, virtual nanoseconds). Unknown or repeated keys are
+// errors. The returned plan is validated.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("fabric: empty fault plan")
+	}
+	p := &FaultPlan{}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("fabric: fault plan term %q is not key=value", kv)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		if seen[k] {
+			return nil, fmt.Errorf("fabric: repeated fault plan key %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: fault plan seed %q: %v", v, err)
+			}
+			p.Seed = n
+		case "drop", "corrupt", "delayp":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: fault plan %s %q: %v", k, v, err)
+			}
+			switch k {
+			case "drop":
+				p.Drop = f
+			case "corrupt":
+				p.Corrupt = f
+			default:
+				p.DelayP = f
+			}
+		case "delay":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: fault plan delay %q: %v", v, err)
+			}
+			p.Delay = sim.Duration(n)
+		default:
+			return nil, fmt.Errorf("fabric: unknown fault plan key %q (have seed, drop, corrupt, delayp, delay)", k)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Verdict is the fate of one segment offered to Deliver.
+type Verdict int
+
+// Segment fates. A corrupted segment still serializes on both links (the
+// bytes travel, the ICRC check at the receiver fails); a dropped segment is
+// lost inside the switch and never charges the receiver.
+const (
+	Delivered Verdict = iota
+	Dropped
+	Corrupted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	default:
+		return "corrupted"
+	}
+}
+
+// FaultStats tallies the fault model's activity on one fabric.
+type FaultStats struct {
+	Segments uint64 // segments offered to Deliver
+	Drops    uint64
+	Corrupts uint64
+	Delays   uint64
+}
+
+// splitmix64 is the fault stream's stateless mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to a float in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// fate draws the verdict and extra delay for segment seq on link. The draw
+// is a pure function of (plan seed, link id, sequence number): no RNG state,
+// so concurrent clusters and repeated runs see identical fault streams.
+func (p *FaultPlan) fate(link int, seq uint64) (Verdict, sim.Duration) {
+	h := splitmix64(uint64(p.Seed) ^ splitmix64(uint64(link)<<32^seq))
+	if unit(h) < p.Drop {
+		return Dropped, 0
+	}
+	h = splitmix64(h)
+	if unit(h) < p.Corrupt {
+		return Corrupted, 0
+	}
+	h = splitmix64(h)
+	if unit(h) < p.DelayP {
+		h = splitmix64(h)
+		return Delivered, sim.Duration(unit(h) * float64(p.Delay))
+	}
+	return Delivered, 0
+}
+
+// Deliver moves one segment from one endpoint to another under the fabric's
+// fault plan, returning the arrival time of the last byte and the segment's
+// fate. With no plan configured it is exactly Send. For a dropped segment
+// the returned time is when the segment would have arrived — the sender's
+// tx link was still occupied; the receiver's was not. Loopback segments
+// never fault: they stay inside the port and cross no switch buffer.
+func (f *Fabric) Deliver(now sim.Time, from, to *Endpoint, payload int) (sim.Time, Verdict) {
+	plan := f.params.Faults
+	if plan == nil || from == to {
+		return f.Send(now, from, to, payload), Delivered
+	}
+	if from == nil || to == nil {
+		panic("fabric: nil endpoint")
+	}
+	if payload < 0 {
+		panic("fabric: negative payload")
+	}
+	from.faultSeq++
+	verdict, extra := plan.fate(from.id, from.faultSeq)
+	f.faultStats.Segments++
+	telemetry.segments.Add(1)
+	wire := payload + f.params.FrameOverhead
+	txStart, _ := from.tx.Transfer(now, wire)
+	arrival := txStart + f.params.Propagation + f.params.SwitchLatency
+	switch verdict {
+	case Dropped:
+		f.faultStats.Drops++
+		telemetry.drops.Add(1)
+		return arrival, Dropped
+	case Corrupted:
+		f.faultStats.Corrupts++
+		telemetry.corrupts.Add(1)
+	default:
+		if extra > 0 {
+			f.faultStats.Delays++
+			telemetry.delays.Add(1)
+			arrival += extra
+		}
+	}
+	_, rxEnd := to.rx.Transfer(arrival, wire)
+	return rxEnd, verdict
+}
+
+// FaultsEnabled reports whether a fault plan is attached to this fabric.
+func (f *Fabric) FaultsEnabled() bool { return f.params.Faults != nil }
+
+// FaultStats returns the fault model's per-fabric tallies.
+func (f *Fabric) FaultStats() FaultStats { return f.faultStats }
+
+// telemetry is cross-fabric, process-wide fault accounting for CLI
+// reporting. It is monotonic and atomic: it never feeds back into the
+// simulation, so it cannot perturb results at any sweep-pool width.
+var telemetry struct {
+	segments atomic.Uint64
+	drops    atomic.Uint64
+	corrupts atomic.Uint64
+	delays   atomic.Uint64
+}
+
+// TakeTelemetry snapshots and zeroes the process-wide fault tallies.
+func TakeTelemetry() FaultStats {
+	return FaultStats{
+		Segments: telemetry.segments.Swap(0),
+		Drops:    telemetry.drops.Swap(0),
+		Corrupts: telemetry.corrupts.Swap(0),
+		Delays:   telemetry.delays.Swap(0),
+	}
+}

@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"testing"
+
+	"rdmasem/internal/sim"
+)
+
+func lossy(t *testing.T, plan *FaultPlan) *Fabric {
+	t.Helper()
+	p := DefaultParams()
+	p.Faults = plan
+	f, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("seed=7,drop=0.01,corrupt=0.001,delayp=0.05,delay=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Drop != 0.01 || p.Corrupt != 0.001 || p.DelayP != 0.05 || p.Delay != 2000 {
+		t.Fatalf("parsed %+v", p)
+	}
+	// String round-trips through the parser.
+	q, err := ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *q != *p {
+		t.Fatalf("round trip %+v != %+v", q, p)
+	}
+	for _, bad := range []string{
+		"", "drop", "drop=2", "drop=-1", "drop=NaN", "seed=x", "drop=0.1,drop=0.1",
+		"zorp=1", "delayp=0.5", "delay=-3", "drop=0.1,,",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFaultPlanValidateViaParams(t *testing.T) {
+	p := DefaultParams()
+	p.Faults = &FaultPlan{Drop: 1.5}
+	if _, err := New(p); err == nil {
+		t.Fatal("fabric accepted an invalid fault plan")
+	}
+}
+
+// TestDeliverLosslessMatchesSend pins the zero-cost property: with no plan
+// (and with an inactive plan's Deliver never drawing faults), Deliver is
+// bit-identical to Send.
+func TestDeliverLosslessMatchesSend(t *testing.T) {
+	plain := newFabric(t)
+	pa, pb := plain.Register("a"), plain.Register("b")
+	faulty := lossy(t, nil)
+	fa, fb := faulty.Register("a"), faulty.Register("b")
+	for i, size := range []int{0, 64, 4096, 1 << 20} {
+		now := sim.Time(i * 1000)
+		want := plain.Send(now, pa, pb, size)
+		got, v := faulty.Deliver(now, fa, fb, size)
+		if got != want || v != Delivered {
+			t.Fatalf("size %d: Deliver %v/%v, Send %v", size, got, v, want)
+		}
+	}
+}
+
+// TestDeliverDeterminism: the same plan over the same traffic produces the
+// same verdict sequence, and Reset replays it.
+func TestDeliverDeterminism(t *testing.T) {
+	plan := &FaultPlan{Seed: 42, Drop: 0.2, Corrupt: 0.1, DelayP: 0.3, Delay: 500}
+	run := func() ([]Verdict, []sim.Time) {
+		f := lossy(t, plan)
+		a, b := f.Register("a"), f.Register("b")
+		var vs []Verdict
+		var ts []sim.Time
+		for i := 0; i < 200; i++ {
+			at, v := f.Deliver(sim.Time(i*100), a, b, 256)
+			vs = append(vs, v)
+			ts = append(ts, at)
+		}
+		return vs, ts
+	}
+	v1, t1 := run()
+	v2, t2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] || t1[i] != t2[i] {
+			t.Fatalf("segment %d: run1 %v@%v, run2 %v@%v", i, v1[i], t1[i], v2[i], t2[i])
+		}
+	}
+	seenDrop, seenCorrupt := false, false
+	for _, v := range v1 {
+		seenDrop = seenDrop || v == Dropped
+		seenCorrupt = seenCorrupt || v == Corrupted
+	}
+	if !seenDrop || !seenCorrupt {
+		t.Fatalf("200 segments at drop=0.2 corrupt=0.1 produced drop=%v corrupt=%v", seenDrop, seenCorrupt)
+	}
+}
+
+// TestDeliverChargesPipes: drops charge only the sender's tx link, corrupt
+// segments charge both sides, loopback never faults.
+func TestDeliverChargesPipes(t *testing.T) {
+	f := lossy(t, &FaultPlan{Seed: 1, Drop: 1})
+	a, b := f.Register("a"), f.Register("b")
+	at, v := f.Deliver(0, a, b, 4096)
+	if v != Dropped {
+		t.Fatalf("drop=1 delivered: %v", v)
+	}
+	if at <= 0 {
+		t.Fatal("dropped segment should report its would-be arrival")
+	}
+	if a.TxUtilization(sim.Millisecond) == 0 {
+		t.Fatal("dropped segment must still occupy the tx link")
+	}
+	if b.RxUtilization(sim.Millisecond) != 0 {
+		t.Fatal("dropped segment must not reach the rx link")
+	}
+	if _, v := f.Deliver(0, a, a, 4096); v != Delivered {
+		t.Fatal("loopback segments must not fault")
+	}
+	if got := f.FaultStats(); got.Drops != 1 || got.Segments != 1 {
+		t.Fatalf("fault stats %+v", got)
+	}
+
+	f2 := lossy(t, &FaultPlan{Seed: 1, Corrupt: 1})
+	a2, b2 := f2.Register("a"), f2.Register("b")
+	if _, v := f2.Deliver(0, a2, b2, 4096); v != Corrupted {
+		t.Fatalf("corrupt=1 verdict %v", v)
+	}
+	if b2.RxUtilization(sim.Millisecond) == 0 {
+		t.Fatal("corrupted segment must still serialize on rx")
+	}
+}
+
+// TestDeliverDelay: delayed segments arrive later than clean ones but are
+// still delivered, and Reset replays the identical delay stream.
+func TestDeliverDelay(t *testing.T) {
+	plan := &FaultPlan{Seed: 3, DelayP: 1, Delay: 10 * sim.Microsecond}
+	f := lossy(t, plan)
+	a, b := f.Register("a"), f.Register("b")
+	delayed, v := f.Deliver(0, a, b, 64)
+	if v != Delivered {
+		t.Fatalf("delayp=1 verdict %v", v)
+	}
+	clean := newFabric(t)
+	ca, cb := clean.Register("a"), clean.Register("b")
+	base := clean.Send(0, ca, cb, 64)
+	if delayed < base {
+		t.Fatalf("delayed arrival %v before lossless %v", delayed, base)
+	}
+	if f.FaultStats().Delays == 0 {
+		t.Fatal("delay not tallied")
+	}
+	f.Reset()
+	if f.FaultStats() != (FaultStats{}) {
+		t.Fatal("Reset must clear fault stats")
+	}
+	replay, _ := f.Deliver(0, a, b, 64)
+	if replay != delayed {
+		t.Fatalf("post-Reset replay %v != %v", replay, delayed)
+	}
+}
+
+// FuzzParseFaultPlan is the parser/validator fuzz target: any input either
+// fails cleanly or yields a valid plan whose String() re-parses to the same
+// value. The f.Add corpus doubles as the seed-corpus regression suite run by
+// plain `go test`.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"seed=7,drop=0.01,corrupt=0.001,delayp=0.05,delay=2000",
+		"seed=-1,drop=1",
+		"drop=0.5,corrupt=0.5",
+		"seed=0",
+		"delayp=1,delay=1",
+		"drop=1e-9",
+		" seed = 2 , drop = 0.25 ",
+		"drop=0.1,drop=0.2",
+		"delay=9223372036854775807,delayp=0.5",
+		"zorp=1",
+		"drop=Inf",
+		"drop=nan",
+		"=",
+		"seed=7,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseFaultPlan(s)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("ParseFaultPlan(%q) returned plan %+v with error %v", s, p, err)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseFaultPlan(%q) returned invalid plan: %v", s, err)
+		}
+		rt, err := ParseFaultPlan(p.String())
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not re-parse: %v", s, err)
+		}
+		if *rt != *p {
+			t.Fatalf("round trip %+v != %+v (input %q)", rt, p, s)
+		}
+		// The fault stream must be total: any (link, seq) draws a verdict.
+		for i := uint64(0); i < 8; i++ {
+			v, d := p.fate(int(i), i*7)
+			if v != Delivered && v != Dropped && v != Corrupted {
+				t.Fatalf("fate returned unknown verdict %d", v)
+			}
+			if d < 0 || d > p.Delay {
+				t.Fatalf("fate delay %v outside [0, %v]", d, p.Delay)
+			}
+		}
+	})
+}

@@ -54,7 +54,29 @@ type StageCounters struct {
 	QPMisses          uint64
 	MRHits            uint64
 	MRMisses          uint64
+
+	// Rel tallies the reliability layer's activity on a lossy fabric. All
+	// zero when no fault plan is attached.
+	Rel RelCounters
 }
+
+// RelCounters is the device-wide reliability tally, summed over every QP on
+// the NIC. The verbs layer maintains it; it costs nothing in the timing
+// model.
+type RelCounters struct {
+	Segments         uint64 // wire segments emitted, including retransmits
+	Retransmits      uint64 // segments re-sent by go-back-N recovery
+	AckTimeouts      uint64 // recovery rounds entered via ACK timeout
+	NaksReceived     uint64 // go-back-N sequence NAKs received
+	RNRNaks          uint64 // receiver-not-ready NAKs received
+	RetriesExhausted uint64 // WRs that errored out after the retry budget
+	FlushedWRs       uint64 // WRs flushed on an error-state QP
+	SilentDrops      uint64 // UC/UD messages lost with no recovery
+}
+
+// Rel returns the device's mutable reliability counters; the verbs layer
+// bumps them as segments move.
+func (n *NIC) Rel() *RelCounters { return &n.counters.Rel }
 
 // Counters returns a snapshot of the device's stage counters, including the
 // metadata-cache hit/miss tallies.

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"rdmasem/internal/fabric"
 	"rdmasem/internal/sim"
 	"rdmasem/internal/topo"
 )
@@ -41,6 +42,9 @@ type qpState struct {
 	recvCQ    *CQ
 	recvQ     []RecvWR
 	obs       StageObserver // active stage listener, else nil
+	state     State         // READY until reliability retries exhaust (or ForceError)
+	policy    RetryPolicy   // reliability knobs; only read on a faulty fabric
+	stats     QPStats       // reliability tally; all zero on a lossless fabric
 }
 
 // newQPState initialises the shared queue-pair state, drawing the QP number
@@ -56,6 +60,7 @@ func newQPState(ctx *Context, t Transport, port int, kind string) qpState {
 		pipeline:  sim.NewResource(fmt.Sprintf("%s%d/pipeline", kind, id)),
 		sendCQ:    NewCQ(),
 		recvCQ:    NewCQ(),
+		policy:    DefaultRetryPolicy(),
 	}
 }
 
@@ -131,7 +136,24 @@ func remoteSpan(wr *SendWR) int {
 // The returned drops slice is parallel to the completions and marks UD
 // datagrams discarded because the receiver had no posted buffer; it is nil
 // for connected transports, which surface that condition as ErrRNR instead.
+//
+// A QP in the error state — entered when the reliability layer exhausts a
+// retry budget, or via ForceError — executes nothing: every WR is flushed
+// with a StatusFlushed completion and the post returns ErrQPError. A WR
+// whose retries exhaust mid-list completes with its error status and the
+// remainder of the list flushes behind it.
 func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []bool, error) {
+	if src.state == StateError {
+		comps := make([]Completion, 0, len(wrs))
+		var drops []bool
+		for _, wr := range wrs {
+			comps = append(comps, flushWR(src, now, wr))
+			if src.transport == UD {
+				drops = append(drops, false)
+			}
+		}
+		return comps, drops, ErrQPError
+	}
 	nic := src.ctx.machine.NIC()
 	inlineBytes := 0
 	allInline := true
@@ -156,7 +178,7 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 	if src.transport == UD {
 		drops = make([]bool, 0, len(wrs))
 	}
-	for _, wr := range wrs {
+	for i, wr := range wrs {
 		c, dropped, err := executeOne(src, dst, t, wr)
 		if err != nil {
 			return comps, drops, err
@@ -165,8 +187,29 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 		if src.transport == UD {
 			drops = append(drops, dropped)
 		}
+		if src.state == StateError {
+			// The reliability layer gave up on this WR: flush the rest of
+			// the doorbell list at the error completion's time.
+			for _, rest := range wrs[i+1:] {
+				comps = append(comps, flushWR(src, c.Done, rest))
+				if src.transport == UD {
+					drops = append(drops, false)
+				}
+			}
+			return comps, drops, ErrQPError
+		}
 	}
 	return comps, drops, nil
+}
+
+// flushWR completes one WR with StatusFlushed (no wire, no data effects) on
+// a QP in the error state. Flushed completions are always signaled, as on
+// real hardware, so pollers observe the drain.
+func flushWR(src *qpState, at sim.Time, wr *SendWR) Completion {
+	src.stats.FlushedWRs++
+	src.ctx.machine.NIC().Rel().FlushedWRs++
+	cqe := src.sendCQ.push(CQE{WRID: wr.ID, Opcode: wr.Opcode, Time: at, Status: StatusFlushed})
+	return Completion{WRID: cqe.WRID, Opcode: cqe.Opcode, Done: cqe.Time, Status: cqe.Status}
 }
 
 // executeOne walks one WR (already doorbelled at time t) through the
@@ -274,7 +317,24 @@ func executeOne(src, dst *qpState, t sim.Time, wr *SendWR) (Completion, bool, er
 		// no acknowledgement will ever come back.
 		localDone := sendDone + CQECost
 		cqe := src.sendCQ.push(CQE{Opcode: OpSend, Time: localDone, Bytes: total})
-		arrive := fab.Send(t, srcEP, dstEP, outbound)
+		var arrive sim.Time
+		if fab.FaultsEnabled() {
+			// A lossy fabric may eat the datagram in flight; UD has no
+			// recovery, so the loss is silent. Each datagram is offered to
+			// the fault stream exactly once — UD can drop, never duplicate.
+			src.noteSegment(false)
+			var v fabric.Verdict
+			arrive, v = fab.Deliver(t, srcEP, dstEP, outbound)
+			if v != fabric.Delivered {
+				src.stats.SilentDrops++
+				nic.Rel().SilentDrops++
+				relTelemetry.silentDrops.Add(1)
+				src.observe(StageArrived, arrive)
+				return Completion{Opcode: OpSend, Done: cqe.Time, Bytes: total}, true, nil
+			}
+		} else {
+			arrive = fab.Send(t, srcEP, dstEP, outbound)
+		}
 		src.observe(StageArrived, arrive)
 		delivered, dropped, err := deliverDatagram(src, dst, arrive, wr, total)
 		if err != nil {
@@ -284,15 +344,38 @@ func executeOne(src, dst *qpState, t sim.Time, wr *SendWR) (Completion, bool, er
 		return Completion{Opcode: OpSend, Done: cqe.Time, Bytes: total}, dropped, nil
 	}
 
-	t = fab.Send(t, srcEP, dstEP, outbound)
-	src.observe(StageArrived, t)
+	var done sim.Time
+	var old uint64
+	if fab.FaultsEnabled() {
+		// Lossy fabric: the wire -> responder -> ACK phase runs under the
+		// reliability engine (RC recovers, UC fires and forgets).
+		var status CompletionStatus
+		var rerr error
+		done, old, status, rerr = executeReliable(src, dst, t, wr, total, outbound, sendDone)
+		if rerr != nil {
+			return Completion{}, false, rerr
+		}
+		if status != StatusOK {
+			// Retry budget exhausted: the WR completes with an error CQE
+			// (always signaled, even if posted unsignaled) and the QP is
+			// now in the error state; postList flushes whatever follows.
+			done += CQECost
+			cqe := src.sendCQ.push(CQE{WRID: wr.ID, Opcode: wr.Opcode, Time: done, Bytes: total, Status: status})
+			return Completion{WRID: cqe.WRID, Opcode: cqe.Opcode, Done: cqe.Time, Bytes: cqe.Bytes, Status: cqe.Status}, false, nil
+		}
+		src.observe(StageResponded, done)
+	} else {
+		t = fab.Send(t, srcEP, dstEP, outbound)
+		src.observe(StageArrived, t)
 
-	// Responder side.
-	done, old, err := respond(src, dst, t, wr, total)
-	if err != nil {
-		return Completion{}, false, err
+		// Responder side.
+		var rerr error
+		done, old, rerr = respond(src, dst, t, wr, total)
+		if rerr != nil {
+			return Completion{}, false, rerr
+		}
+		src.observe(StageResponded, done)
 	}
-	src.observe(StageResponded, done)
 	if src.transport == UC && wr.Opcode == OpWrite {
 		// Unreliable connection: no acknowledgement exists, so the send
 		// completes locally as soon as the datagram is on the wire. The

@@ -45,13 +45,19 @@ func MustConnect(a *Context, portA int, b *Context, portB int, t Transport) (*QP
 func (q *QP) Peer() *QP { return q.peer }
 
 // PostSend posts one work request at the given virtual time and returns its
-// completion. Equivalent to a one-entry PostSendList.
+// completion. Equivalent to a one-entry PostSendList. When the QP fails (the
+// reliability layer exhausted its retries, or the QP was already in the
+// error state) the error is ErrQPError and the returned completion carries
+// the failure's status and time.
 func (q *QP) PostSend(now sim.Time, wr *SendWR) (Completion, error) {
 	comps, err := q.PostSendList(now, []*SendWR{wr})
-	if err != nil {
-		return Completion{}, err
+	if len(comps) > 0 {
+		return comps[0], err
 	}
-	return comps[0], nil
+	if err == nil {
+		err = fmt.Errorf("verbs: no completion returned")
+	}
+	return Completion{}, err
 }
 
 // PostSendList posts a doorbell list: the whole batch costs a single MMIO
@@ -64,6 +70,12 @@ func (q *QP) PostSend(now sim.Time, wr *SendWR) (Completion, error) {
 // CQEs are in place, exactly as on real hardware where earlier WRs in a
 // doorbell list are not undone — are returned as a prefix alongside the
 // error. len(comps) therefore identifies the failing WR: wrs[len(comps)].
+//
+// Reliability failures on a lossy fabric behave differently: the error is
+// ErrQPError and every WR in the list has a completion — the completed
+// prefix with StatusOK, the failing WR with its error status, and the
+// remainder flushed with StatusFlushed. Posting to a QP already in the
+// error state flushes the whole list the same way.
 func (q *QP) PostSendList(now sim.Time, wrs []*SendWR) ([]Completion, error) {
 	if q.peer == nil {
 		return nil, ErrNotConnected

@@ -60,6 +60,7 @@ var (
 	ErrBadRKey      = errors.New("verbs: unknown remote key")
 	ErrRNR          = errors.New("verbs: receiver not ready (no posted receive)")
 	ErrAtomicSize   = errors.New("verbs: atomic operations are 8 bytes")
+	ErrQPError      = errors.New("verbs: queue pair is in error state")
 )
 
 // Context is an opened device on one machine: the registry of MRs and the

@@ -1,6 +1,8 @@
 package verbs
 
 import (
+	"fmt"
+
 	"rdmasem/internal/mem"
 	"rdmasem/internal/sim"
 )
@@ -86,6 +88,9 @@ type CQE struct {
 	// OldValue carries the pre-operation value for atomics and the
 	// immediate for receives.
 	OldValue uint64
+	// Status reports how the WR finished; the zero value is success, and
+	// only reliability failures on a lossy fabric produce anything else.
+	Status CompletionStatus
 }
 
 // CQ is a completion queue: entries accumulate as operations finish in
@@ -136,5 +141,16 @@ type Completion struct {
 	Opcode   Opcode
 	Done     sim.Time // CQE visibility time at the requester
 	Bytes    int
-	OldValue uint64 // atomics: value before the operation
+	OldValue uint64           // atomics: value before the operation
+	Status   CompletionStatus // zero (StatusOK) except under reliability failures
+}
+
+// Err returns nil for a successful completion and an ErrQPError-wrapping
+// error describing the failure otherwise, so callers can bubble a
+// reliability failure up their existing error paths.
+func (c Completion) Err() error {
+	if c.Status == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("%w: WR %d (%v) completed with status %v", ErrQPError, c.WRID, c.Opcode, c.Status)
 }
