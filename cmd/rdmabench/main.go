@@ -21,27 +21,67 @@
 // delay); the same plan and seed always reproduce the same run. After each
 // experiment a fault/reliability summary line reports segments offered,
 // drops, corruptions, retransmissions, timeouts and NAKs.
+//
+// -metrics attaches the deterministic telemetry registry to every experiment
+// cluster and prints a per-experiment summary (stage-latency histograms with
+// p50/p90/p99/max, NIC/fabric counters, queue occupancy) after each report.
+// -timeline out.json additionally records every operation's stage walk and
+// writes a Chrome trace_event file loadable in chrome://tracing or Perfetto:
+//
+//	rdmabench -exp breakdown -metrics
+//	rdmabench -exp breakdown -scale 0.05 -timeline trace.json
+//
+// Both are observers: with neither flag the simulation takes the exact same
+// code path and produces byte-identical output.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"time"
 
 	"rdmasem/internal/bench"
 	"rdmasem/internal/fabric"
+	"rdmasem/internal/telemetry"
 	"rdmasem/internal/verbs"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
-	scale := flag.Float64("scale", 1.0, "sweep scale in (0,1]")
-	format := flag.String("format", "text", "output format: text, csv, chart")
-	parallel := flag.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS)")
-	faults := flag.String("faults", "", "lossy-fabric plan, e.g. seed=1,drop=0.01 (empty = lossless)")
-	list := flag.Bool("list", false, "list experiment ids")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind an injectable argv and output streams, so the
+// smoke tests can drive it in-process. The return value is the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdmabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id (see -list), or 'all'")
+	scale := fs.Float64("scale", 1.0, "sweep scale in (0,1]")
+	format := fs.String("format", "text", "output format: text, csv, chart")
+	parallel := fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS)")
+	faults := fs.String("faults", "", "lossy-fabric plan, e.g. seed=1,drop=0.01 (empty = lossless)")
+	metrics := fs.Bool("metrics", false, "print per-experiment telemetry (stage histograms, counters)")
+	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON of every op's stage walk to this file")
+	list := fs.Bool("list", false, "list experiment ids")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Validate up front: a bad flag must fail loudly before any experiment
+	// runs, not silently produce a misleading sweep.
+	if !(*scale > 0 && *scale <= 1) || math.IsNaN(*scale) {
+		fmt.Fprintf(stderr, "rdmabench: -scale must be in (0,1], got %v\n", *scale)
+		return 2
+	}
+	switch *format {
+	case "text", "csv", "chart":
+	default:
+		fmt.Fprintf(stderr, "rdmabench: unknown -format %q (want text, csv or chart)\n", *format)
+		return 2
+	}
 
 	bench.SetParallelism(*parallel)
 
@@ -49,21 +89,35 @@ func main() {
 	if lossy {
 		plan, err := fabric.ParseFaultPlan(*faults)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rdmabench: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
 		}
 		bench.SetFaultPlan(plan)
 	}
 
+	var tl *telemetry.Timeline
+	if *timeline != "" {
+		tl = telemetry.NewTimeline(0)
+		bench.SetTimeline(tl)
+		// Timeline process groups are allocated in cluster-construction
+		// order, so pin the sweep pool to keep traces reproducible.
+		bench.SetParallelism(1)
+	}
+	if *metrics || tl != nil {
+		// The registry also feeds the timeline path's summary: folding NIC
+		// counters is cheap and keeps one code path.
+		bench.SetMetrics(telemetry.NewRegistry())
+	}
+
 	if *list || *exp == "" {
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, id := range bench.List() {
-			fmt.Println("  " + id)
+			fmt.Fprintln(stdout, "  "+id)
 		}
 		if *exp == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	ids := []string{*exp}
@@ -74,18 +128,42 @@ func main() {
 		start := time.Now()
 		report, err := bench.Run(id, *scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rdmabench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 1
 		}
-		report.RenderFormat(os.Stdout, *format)
+		report.RenderFormat(stdout, *format)
 		if lossy {
 			ft := fabric.TakeTelemetry()
 			rt := verbs.TakeRelTelemetry()
-			fmt.Printf("faults: segments=%d drops=%d corrupts=%d delays=%d\n",
+			fmt.Fprintf(stdout, "faults: segments=%d drops=%d corrupts=%d delays=%d\n",
 				ft.Segments, ft.Drops, ft.Corrupts, ft.Delays)
-			fmt.Printf("reliability: segments=%d retransmits=%d timeouts=%d naks=%d rnr_naks=%d retries_exhausted=%d silent_drops=%d\n",
+			fmt.Fprintf(stdout, "reliability: segments=%d retransmits=%d timeouts=%d naks=%d rnr_naks=%d retries_exhausted=%d silent_drops=%d\n",
 				rt.Segments, rt.Retransmits, rt.AckTimeouts, rt.NaksReceived, rt.RNRNaks, rt.RetriesExhausted, rt.SilentDrops)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *metrics {
+			bench.TakeMetrics().Render(stdout)
+		} else if tl != nil {
+			bench.TakeMetrics() // drain between experiments so labels stay per-experiment
+		}
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 1
+		}
+		werr := tl.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "rdmabench: writing %s: %v\n", *timeline, werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "timeline: %d spans written to %s (%d dropped past the recording limit)\n",
+			tl.Len(), *timeline, tl.Dropped())
+	}
+	return 0
 }

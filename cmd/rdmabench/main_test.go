@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation covers the bad-flag paths: every invalid combination
+// must exit 2 with a diagnostic on stderr before any experiment runs.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"scale zero", []string{"-exp", "fig1", "-scale", "0"}, "-scale must be in (0,1]"},
+		{"scale negative", []string{"-exp", "fig1", "-scale", "-0.5"}, "-scale must be in (0,1]"},
+		{"scale above one", []string{"-exp", "fig1", "-scale", "1.5"}, "-scale must be in (0,1]"},
+		{"scale NaN", []string{"-exp", "fig1", "-scale", "NaN"}, "-scale must be in (0,1]"},
+		{"unknown format", []string{"-exp", "fig1", "-format", "yaml"}, `unknown -format "yaml"`},
+		{"bad faults plan", []string{"-exp", "fig1", "-faults", "bogus"}, "rdmabench"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q missing %q", stderr.String(), tc.want)
+			}
+			if strings.Contains(stdout.String(), "==") {
+				t.Fatal("experiment output produced despite invalid flags")
+			}
+		})
+	}
+}
+
+func TestListSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	for _, id := range []string{"fig1", "breakdown", "ycsb"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Fatalf("-list output missing %q:\n%s", id, stdout.String())
+		}
+	}
+	// No -exp and no -list is a usage error.
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("bare invocation exit code = %d, want 2", code)
+	}
+}
+
+func TestUnknownExperimentExitsOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestMetricsAndTimelineSmoke drives the full -metrics and -timeline paths
+// in-process: the summary must follow the report, and the trace file must be
+// valid Chrome trace JSON.
+func TestMetricsAndTimelineSmoke(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "breakdown", "-scale", "0.02", "-metrics", "-timeline", trace}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== breakdown ==", "stage histograms", "verbs/WRITE", "counters", "timeline:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	var complete int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+	}
+	if doc.DisplayTimeUnit != "ns" || complete == 0 {
+		t.Fatalf("trace malformed: unit=%q complete=%d", doc.DisplayTimeUnit, complete)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTelemetrySmoke(t *testing.T) {
+	var out, trace strings.Builder
+	if err := run(&out, &trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage histograms", "verbs/WRITE", "verbs/READ", "e2e", "counters", "doorbells", "timeline:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(trace.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace malformed: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+
+	// The demo is deterministic: a second run renders byte-identically.
+	var out2, trace2 strings.Builder
+	if err := run(&out2, &trace2); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != out2.String() || trace.String() != trace2.String() {
+		t.Fatal("telemetry demo output is not deterministic across runs")
+	}
+}

@@ -74,12 +74,19 @@ var faultPlan *fabric.FaultPlan
 // workers.
 func SetFaultPlan(p *fabric.FaultPlan) { faultPlan = p }
 
-// newCluster builds an experiment cluster with the bench-wide fault plan
-// attached. All drivers construct their clusters through this helper so a
-// single SetFaultPlan covers every figure and table.
+// newCluster builds an experiment cluster with the bench-wide fault plan and
+// telemetry sinks attached. All drivers construct their clusters through this
+// helper so a single SetFaultPlan/SetMetrics/SetTimeline covers every figure
+// and table.
 func newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
 	cfg.Faults = faultPlan
-	return cluster.New(cfg)
+	cfg.Telemetry = metricsReg
+	cfg.Timeline = timelineRec
+	cl, err := cluster.New(cfg)
+	if err == nil && metricsReg != nil {
+		trackCluster(cl)
+	}
+	return cl, err
 }
 
 // Driver runs one experiment at the given scale.
@@ -100,6 +107,9 @@ func Run(id string, scale float64) (*Report, error) {
 	}
 	if scale <= 0 || scale > 1 {
 		return nil, fmt.Errorf("bench: scale must be in (0,1], got %v", scale)
+	}
+	if metricsReg != nil {
+		metricsReg.SetExperiment(id)
 	}
 	return d(scale)
 }

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"sync"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/telemetry"
+)
+
+// metricsReg and timelineRec, when set, are attached to every cluster the
+// drivers build — the bench-wide analogue of SetFaultPlan. Registry updates
+// commute (counter adds, histogram bucket adds), so metrics snapshots are
+// identical at any sweep-pool width; timeline process-group allocation is
+// ordered by cluster construction, so callers wanting a stable trace should
+// pin SetParallelism(1) while a timeline is attached.
+var (
+	metricsReg  *telemetry.Registry
+	timelineRec *telemetry.Timeline
+
+	liveMu       sync.Mutex
+	liveClusters []*cluster.Cluster
+)
+
+// SetMetrics attaches a metrics registry to all subsequently built experiment
+// clusters (nil restores the telemetry-free default). Call it before Run,
+// never during one: drivers read it concurrently from sweep workers.
+func SetMetrics(r *telemetry.Registry) { metricsReg = r }
+
+// SetTimeline attaches a span recorder to all subsequently built experiment
+// clusters (nil disables). Same call discipline as SetMetrics.
+func SetTimeline(t *telemetry.Timeline) { timelineRec = t }
+
+// trackCluster remembers a telemetry-enabled cluster so TakeMetrics can fold
+// its NIC/fabric counters; drivers never close clusters, so this list is the
+// only record of which ones exist.
+func trackCluster(cl *cluster.Cluster) {
+	liveMu.Lock()
+	liveClusters = append(liveClusters, cl)
+	liveMu.Unlock()
+}
+
+// TakeMetrics folds the NIC and fabric counters of every cluster built since
+// the last call into the attached registry and drains it into a snapshot.
+// With no registry attached it returns an empty snapshot.
+func TakeMetrics() telemetry.Snapshot {
+	if metricsReg == nil {
+		return telemetry.Snapshot{}
+	}
+	liveMu.Lock()
+	clusters := liveClusters
+	liveClusters = nil
+	liveMu.Unlock()
+	for _, cl := range clusters {
+		cl.FoldTelemetry()
+	}
+	return metricsReg.Take()
+}

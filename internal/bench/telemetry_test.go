@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdmasem/internal/telemetry"
+)
+
+// TestTelemetryPassiveAcrossAllExperiments pins the telemetry layer's
+// zero-cost contract over the whole evaluation surface: with a registry AND
+// a timeline attached to every cluster, all experiments must render
+// byte-identically to the committed goldens. Any divergence means an
+// observer leaked into the timing model.
+func TestTelemetryPassiveAcrossAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	reg := telemetry.NewRegistry()
+	tl := telemetry.NewTimeline(0)
+	SetMetrics(reg)
+	SetTimeline(tl)
+	defer func() {
+		TakeMetrics() // drain the live-cluster list
+		SetMetrics(nil)
+		SetTimeline(nil)
+	}()
+
+	for _, id := range List() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, goldenScale)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			var buf bytes.Buffer
+			rep.Render(&buf)
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", id+".txt"))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("telemetry attachment changed the output of %s\n%s", id, diffHint(want, buf.Bytes()))
+			}
+		})
+	}
+
+	// The sweep must actually have fed the sinks, or the parity above proved
+	// nothing.
+	snap := TakeMetrics()
+	if snap.Empty() {
+		t.Fatal("registry collected nothing across the whole sweep")
+	}
+	if tl.Len() == 0 {
+		t.Fatal("timeline recorded no spans across the whole sweep")
+	}
+}
+
+// TestTakeMetricsFoldsAndDrains covers the bench-level lifecycle: clusters
+// built during a run are tracked, folded exactly once, and the registry is
+// empty after TakeMetrics.
+func TestTakeMetricsFoldsAndDrains(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	if _, err := Run("breakdown", goldenScale); err != nil {
+		t.Fatal(err)
+	}
+	snap := TakeMetrics()
+	if snap.Empty() {
+		t.Fatal("snapshot empty after an instrumented run")
+	}
+	var sawCounter bool
+	for _, c := range snap.Counters {
+		if c.Experiment != "breakdown" {
+			t.Fatalf("counter %+v not labeled with the experiment", c)
+		}
+		if c.Component == "nic" && c.Stage == "doorbells" && c.Value > 0 {
+			sawCounter = true
+		}
+	}
+	if !sawCounter {
+		t.Fatal("NIC doorbell counters were not folded into the snapshot")
+	}
+	if !TakeMetrics().Empty() {
+		t.Fatal("second TakeMetrics must be empty (drained)")
+	}
+}

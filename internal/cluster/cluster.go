@@ -11,6 +11,7 @@ import (
 	"rdmasem/internal/mem"
 	"rdmasem/internal/rnic"
 	"rdmasem/internal/sim"
+	"rdmasem/internal/telemetry"
 	"rdmasem/internal/topo"
 )
 
@@ -25,6 +26,19 @@ type Config struct {
 	// corruption, delay) to the switch. nil — the default — is a lossless
 	// fabric and changes nothing. Shorthand for setting Fabric.Faults.
 	Faults *fabric.FaultPlan
+	// Telemetry optionally attaches a metrics registry. Every queueing
+	// resource of the cluster — QPI, PCIe channels, port execution and
+	// atomic units, fabric links, per-QP pipelines — then reports wait and
+	// service histograms, the verbs layer reports per-opcode stage
+	// histograms, and FoldTelemetry folds the NIC/fabric counters in. nil —
+	// the default — collects nothing and changes nothing: telemetry is
+	// passive, so results are byte-identical either way (the same contract
+	// Faults keeps).
+	Telemetry *telemetry.Registry
+	// Timeline optionally records every operation's stage walk as Chrome
+	// trace-event spans (one process group per cluster, one thread per QP).
+	// Usable with or without Telemetry, and equally passive.
+	Timeline *telemetry.Timeline
 }
 
 // DefaultConfig returns the paper's eight-machine testbed. Each socket gets
@@ -49,6 +63,9 @@ type Machine struct {
 	fab       *fabric.Fabric
 	endpoints []*fabric.Endpoint // one per NIC port
 	qpSeq     *uint64            // cluster-wide QP number allocator
+	reg       *telemetry.Registry
+	tl        *telemetry.Timeline
+	tlPID     int64 // timeline process group shared by the cluster
 }
 
 // Cluster is a set of machines sharing one switch.
@@ -72,6 +89,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, fab: fab}
+	var tlPID int64
+	if cfg.Timeline != nil {
+		tlPID = cfg.Timeline.NewGroup("cluster")
+	}
 	for i := 0; i < cfg.Machines; i++ {
 		t, err := topo.New(cfg.Topo)
 		if err != nil {
@@ -94,13 +115,112 @@ func New(cfg Config) (*Cluster, error) {
 			qpi:      sim.NewPipe(fmt.Sprintf("m%d/qpi", i), cfg.Topo.QPIBandwidth, 0),
 			fab:      fab,
 			qpSeq:    &c.qpSeq,
+			reg:      cfg.Telemetry,
+			tl:       cfg.Timeline,
+			tlPID:    tlPID,
 		}
 		for p := 0; p < nic.Ports(); p++ {
 			m.endpoints = append(m.endpoints, fab.Register(fmt.Sprintf("m%d/p%d", i, p)))
 		}
+		if cfg.Telemetry != nil {
+			m.attachTelemetry(cfg.Telemetry)
+		}
 		c.machines = append(c.machines, m)
 	}
 	return c, nil
+}
+
+// observed is the surface shared by sim.Resource and sim.Pipe that telemetry
+// attachment needs.
+type observed interface {
+	Observe(sim.AcquireFunc)
+}
+
+// attachTelemetry hooks every queueing resource of the machine into the
+// registry: each reports a wait-time histogram (queueing delay before
+// service) and a service-time histogram (occupancy) under its component
+// name. The hooks are pure readers of the placements the resources already
+// compute, so timing is unchanged.
+func (m *Machine) attachTelemetry(reg *telemetry.Registry) {
+	label := m.Label()
+	attach := func(component string, o observed) {
+		wait := reg.Hist(label, component, "wait")
+		service := reg.Hist(label, component, "service")
+		o.Observe(func(arrival, start, end sim.Time) {
+			wait.Observe(start - arrival)
+			service.Observe(end - start)
+		})
+	}
+	attach("qpi", m.qpi)
+	attach("nic/pcie-rd", m.nic.PCIeDown())
+	attach("nic/pcie-wr", m.nic.PCIeUp())
+	for p := 0; p < m.nic.Ports(); p++ {
+		attach(fmt.Sprintf("nic/port%d/exec", p), m.nic.Port(p).Exec())
+		attach(fmt.Sprintf("nic/port%d/atomic", p), m.nic.Port(p).Atomic())
+	}
+	for p, ep := range m.endpoints {
+		attach(fmt.Sprintf("fab/p%d/tx", p), ep.Tx())
+		attach(fmt.Sprintf("fab/p%d/rx", p), ep.Rx())
+	}
+}
+
+// FoldTelemetry folds the cluster's accumulated NIC stage counters and the
+// fabric's fault tallies into the attached registry as counters (zero-valued
+// tallies are skipped to keep summaries compact). Call it when a measurement
+// phase ends; the harness does so before each per-experiment snapshot. A
+// cluster without telemetry attached folds nothing.
+func (c *Cluster) FoldTelemetry() {
+	reg := c.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	for _, m := range c.machines {
+		label := m.Label()
+		count := func(stage string, v uint64) {
+			if v != 0 {
+				reg.Count(label, "nic", stage, int64(v))
+			}
+		}
+		sc := m.nic.Counters()
+		count("doorbells", sc.Doorbells)
+		count("doorbell-wqes", sc.DoorbellWQEs)
+		count("wqe-fetches", sc.WQEFetches)
+		count("gather-ops", sc.GatherOps)
+		count("gather-frags", sc.GatherFrags)
+		count("gather-bytes", sc.GatherBytes)
+		count("scatter-ops", sc.ScatterOps)
+		count("scatter-frags", sc.ScatterFrags)
+		count("scatter-bytes", sc.ScatterBytes)
+		count("xlate-hits", sc.TranslationHits)
+		count("xlate-misses", sc.TranslationMisses)
+		count("qp-hits", sc.QPHits)
+		count("qp-misses", sc.QPMisses)
+		count("mr-hits", sc.MRHits)
+		count("mr-misses", sc.MRMisses)
+		rel := func(stage string, v uint64) {
+			if v != 0 {
+				reg.Count(label, "nic/rel", stage, int64(v))
+			}
+		}
+		rel("segments", sc.Rel.Segments)
+		rel("retransmits", sc.Rel.Retransmits)
+		rel("ack-timeouts", sc.Rel.AckTimeouts)
+		rel("naks", sc.Rel.NaksReceived)
+		rel("rnr-naks", sc.Rel.RNRNaks)
+		rel("retries-exhausted", sc.Rel.RetriesExhausted)
+		rel("flushed-wrs", sc.Rel.FlushedWRs)
+		rel("silent-drops", sc.Rel.SilentDrops)
+	}
+	fs := c.fab.FaultStats()
+	ffold := func(stage string, v uint64) {
+		if v != 0 {
+			reg.Count("", "fabric", stage, int64(v))
+		}
+	}
+	ffold("segments", fs.Segments)
+	ffold("drops", fs.Drops)
+	ffold("corrupts", fs.Corrupts)
+	ffold("delays", fs.Delays)
 }
 
 // Config returns the cluster configuration.
@@ -139,6 +259,19 @@ func (c *Cluster) Reset() {
 
 // ID returns the machine's index within its cluster.
 func (m *Machine) ID() int { return m.id }
+
+// Label returns the machine's telemetry label, e.g. "m0".
+func (m *Machine) Label() string { return fmt.Sprintf("m%d", m.id) }
+
+// Telemetry returns the attached metrics registry, or nil.
+func (m *Machine) Telemetry() *telemetry.Registry { return m.reg }
+
+// Timeline returns the attached span recorder, or nil.
+func (m *Machine) Timeline() *telemetry.Timeline { return m.tl }
+
+// TimelinePID returns the timeline process group of the machine's cluster
+// (meaningful only when Timeline is non-nil).
+func (m *Machine) TimelinePID() int64 { return m.tlPID }
 
 // Topology returns the machine's NUMA layout.
 func (m *Machine) Topology() *topo.Topology { return m.topology }

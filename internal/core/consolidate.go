@@ -26,6 +26,7 @@ type Consolidator struct {
 	lease      sim.Duration
 
 	blocks     map[int]*pendingBlock
+	nextSeq    int64 // creation-order stamp for pending blocks
 	slots      []int // free shadow slot indices
 	scratchOff int   // shadow offset of the read-miss scratch slot
 	preFlush   func(now sim.Time, block int) (sim.Time, error)
@@ -36,8 +37,9 @@ type Consolidator struct {
 }
 
 type pendingBlock struct {
-	index    int // block index within the remote region
-	slot     int // shadow slot
+	index    int   // block index within the remote region
+	slot     int   // shadow slot
+	seq      int64 // creation order, breaks eviction ties (true FIFO at Lease 0)
 	mods     int
 	deadline sim.Time
 	dirty    bool
@@ -114,7 +116,8 @@ func (c *Consolidator) Write(now sim.Time, off int, data []byte) (sim.Time, erro
 		}
 		slot := c.slots[len(c.slots)-1]
 		c.slots = c.slots[:len(c.slots)-1]
-		pb = &pendingBlock{index: blk, slot: slot, deadline: now + c.lease}
+		pb = &pendingBlock{index: blk, slot: slot, seq: c.nextSeq, deadline: now + c.lease}
+		c.nextSeq++
 		c.blocks[blk] = pb
 	}
 	shadow := c.shadow(pb)
@@ -154,7 +157,10 @@ func (c *Consolidator) Read(now sim.Time, off, size int, out []byte) (sim.Time, 
 		return 0, err
 	}
 	copy(out[:size], c.localMR.Region().Bytes()[c.scratchOff:c.scratchOff+size])
-	return comp.Done, nil
+	// The caller's bytes live in out, not the scratch slot: the CPU copy out
+	// of the landing buffer costs the same memcpy a shadow hit pays.
+	tp := c.qp.Context().Machine().Topology().Params
+	return comp.Done + tp.MemcpyTime(size, false), nil
 }
 
 // Tick flushes every block whose lease has expired by now, returning the
@@ -211,10 +217,15 @@ func (c *Consolidator) snapshot() []*pendingBlock {
 	return out
 }
 
+// oldest picks the eviction victim: earliest deadline, creation order as the
+// tie-break. With Lease == 0 every deadline equals its write time, so the
+// tie-break is what makes eviction FIFO in insertion order rather than
+// lowest-block-index-first.
 func (c *Consolidator) oldest() *pendingBlock {
 	var victim *pendingBlock
 	for _, pb := range c.snapshot() {
-		if victim == nil || pb.deadline < victim.deadline {
+		if victim == nil || pb.deadline < victim.deadline ||
+			(pb.deadline == victim.deadline && pb.seq < victim.seq) {
 			victim = pb
 		}
 	}

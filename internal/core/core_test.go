@@ -366,3 +366,186 @@ func wrTo(e *env, addr mem.Addr, size int) verbs.SendWR {
 		RemoteKey:  e.mrB.RKey(),
 	}
 }
+
+// TestConsolidatorReadMissChargesCopy pins the read-miss timing model: a
+// miss pays the RDMA read into the scratch slot PLUS the CPU copy out to the
+// caller's buffer — the same memcpy a shadow hit is charged. The miss is
+// measured against a bare RDMA read of identical size on the same (warm) QP,
+// so their difference isolates the copy term exactly.
+func TestConsolidatorReadMissChargesCopy(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 100, MaxBlocks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 512
+	out := make([]byte, size)
+
+	// Warm the QP/MR/translation caches so the measured pair sees identical
+	// metadata behavior.
+	if _, err := c.Read(0, 4*1024, size, out); err != nil {
+		t.Fatal(err)
+	}
+	// The bare read lands in the same scratch slot the consolidator uses, so
+	// both measured ops see identical translation-cache state.
+	scratch := e.staging.Addr() + 4*1024 // scratchOff = BlockSize * MaxBlocks
+	now := sim.Time(50 * sim.Microsecond)
+	comp, err := e.qpA.PostSend(now, &verbs.SendWR{
+		Opcode:     verbs.OpRead,
+		SGL:        []verbs.SGE{{Addr: scratch, Length: size, MR: e.staging}},
+		RemoteAddr: e.mrB.Addr() + 4*1024,
+		RemoteKey:  e.mrB.RKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdma := comp.Done - now
+
+	now = 100 * sim.Microsecond
+	d, err := c.Read(now, 4*1024, size, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := d - now
+
+	tp := e.cl.Machine(0).Topology().Params
+	wantCopy := tp.MemcpyTime(size, false)
+	if wantCopy <= 0 {
+		t.Fatal("test needs a nonzero memcpy cost")
+	}
+	if got := miss - rdma; got != wantCopy {
+		t.Fatalf("miss charges %v beyond the RDMA read, want memcpy %v (miss=%v rdma=%v)",
+			got, wantCopy, miss, rdma)
+	}
+
+	// And a shadow hit of the same size costs exactly the memcpy.
+	if _, err := c.Write(200*sim.Microsecond, 0, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	now = 300 * sim.Microsecond
+	d, err = c.Read(now, 0, size, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit := d - now; hit != wantCopy {
+		t.Fatalf("shadow hit cost %v, want memcpy %v", hit, wantCopy)
+	}
+}
+
+// TestConsolidatorEvictionFIFOAtZeroLease pins the eviction order with no
+// lease: deadlines all equal their write times, so blocks written at the
+// same instant tie — and the tie must break by insertion age (FIFO), not by
+// block index. Block 5 is written before block 1; the third block must evict
+// 5, not 1.
+func TestConsolidatorEvictionFIFOAtZeroLease(t *testing.T) {
+	e := newEnv(t)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: 1024, Theta: 100, MaxBlocks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(0, 5*1024, []byte{'F'}); err != nil { // first in
+		t.Fatal(err)
+	}
+	if _, err := c.Write(0, 1*1024, []byte{'S'}); err != nil { // second in, lower index
+		t.Fatal(err)
+	}
+	if _, err := c.Write(0, 3*1024, []byte{'T'}); err != nil { // forces one eviction
+		t.Fatal(err)
+	}
+	if _, fl := c.Stats(); fl != 1 {
+		t.Fatalf("flushes=%d, want exactly 1 eviction", fl)
+	}
+	remote := e.mrB.Region().Bytes()
+	if remote[5*1024] != 'F' {
+		t.Fatal("block 5 (oldest) was not the eviction victim")
+	}
+	if remote[1*1024] == 'S' {
+		t.Fatal("block 1 (younger) was evicted despite its age")
+	}
+	// The younger block still answers from the shadow.
+	out := make([]byte, 1)
+	if _, err := c.Read(0, 1*1024, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 'S' {
+		t.Fatalf("read-your-writes on surviving block got %q", out)
+	}
+}
+
+// TestConsolidatorReadYourWritesSurvivesEviction drives a deterministic
+// pseudo-random workload over more blocks than the shadow holds, so
+// evict-triggered flushes interleave with absorbs, and checks after every
+// operation that reads observe exactly what was last written — whether the
+// block is live in the shadow, mid-theta, or long since flushed to the
+// remote side. Writes cover whole blocks, the discipline the hot-entry area
+// follows: a re-touched block gets a fresh shadow slot whose previous
+// tenant's bytes would otherwise leak into the next flush.
+func TestConsolidatorReadYourWritesSurvivesEviction(t *testing.T) {
+	e := newEnv(t)
+	const (
+		blockSize = 512
+		nBlocks   = 12
+		maxBlocks = 3
+		steps     = 400
+	)
+	c, err := NewConsolidator(ConsolidatorConfig{
+		QP: e.qpA, LocalMR: e.staging, RemoteMR: e.mrB, RemoteBase: e.mrB.Addr(),
+		BlockSize: blockSize, Theta: 4, MaxBlocks: maxBlocks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make([]byte, nBlocks*blockSize)
+	touched := make([]bool, nBlocks)
+	rng := uint64(0x9e3779b97f4a7c15) // xorshift state; fixed seed, deterministic run
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	now := sim.Time(0)
+	for step := 0; step < steps; step++ {
+		blk := next(nBlocks)
+		if !touched[blk] || next(2) == 0 {
+			data := make([]byte, blockSize)
+			for i := range data {
+				data[i] = byte(step + i)
+			}
+			d, err := c.Write(now, blk*blockSize, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(model[blk*blockSize:], data)
+			touched[blk] = true
+			now = d
+		}
+		// Read back a random touched extent and compare with the model.
+		rblk := next(nBlocks)
+		if !touched[rblk] {
+			continue
+		}
+		off := next(blockSize - 16)
+		size := 1 + next(15)
+		out := make([]byte, size)
+		d, err := c.Read(now, rblk*blockSize+off, size, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+		want := model[rblk*blockSize+off : rblk*blockSize+off+size]
+		if !bytes.Equal(out, want) {
+			t.Fatalf("step %d: read block %d [%d,+%d) = %x, want %x",
+				step, rblk, off, size, out, want)
+		}
+	}
+	if w, fl := c.Stats(); fl < int64(nBlocks-maxBlocks) || w == 0 {
+		t.Fatalf("workload too tame: writes=%d flushes=%d (need evictions to exercise the property)", w, fl)
+	}
+}

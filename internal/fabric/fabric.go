@@ -55,6 +55,13 @@ type Endpoint struct {
 // Name returns the endpoint's diagnostic name.
 func (e *Endpoint) Name() string { return e.name }
 
+// Tx exposes the endpoint's transmit pipe (telemetry attachment and
+// utilization reporting).
+func (e *Endpoint) Tx() *sim.Pipe { return e.tx }
+
+// Rx exposes the endpoint's receive pipe.
+func (e *Endpoint) Rx() *sim.Pipe { return e.rx }
+
 // TxUtilization reports the transmit-link busy fraction over the horizon.
 func (e *Endpoint) TxUtilization(horizon sim.Time) float64 { return e.tx.Utilization(horizon) }
 

@@ -31,7 +31,20 @@ type Resource struct {
 	intervals []interval // sorted, non-overlapping, non-adjacent
 	busy      Duration   // accumulated service time, for utilization
 	served    int64      // number of Acquire calls
+	onAcquire AcquireFunc
 }
+
+// AcquireFunc observes one service placement on a Resource or Pipe: the
+// request arrived at arrival, started service at start (start - arrival is
+// the queueing wait) and completes at end. Observers are passive — they see
+// the same placement the caller receives and must not touch simulation
+// state, so attaching one never changes timing.
+type AcquireFunc func(arrival, start, end Time)
+
+// Observe attaches fn as the resource's acquire observer (nil detaches).
+// The observer survives Reset, so measurement phases that clear queue state
+// keep reporting to the same telemetry streams.
+func (r *Resource) Observe(fn AcquireFunc) { r.onAcquire = fn }
 
 // NewResource returns an idle gap-filling resource with the given diagnostic
 // name.
@@ -61,7 +74,11 @@ func (r *Resource) Acquire(arrival Time, service Duration) (start, end Time) {
 	r.busy += service
 	r.served++
 	start = r.place(arrival, service)
-	return start, start + service
+	end = start + service
+	if r.onAcquire != nil {
+		r.onAcquire(arrival, start, end)
+	}
+	return start, end
 }
 
 // place finds the earliest gap at or after arrival that fits the service and
@@ -213,6 +230,11 @@ func (p *Pipe) Delay(arrival Time, size int) Time {
 	_, end := p.Transfer(arrival, size)
 	return end
 }
+
+// Observe attaches fn as the pipe's transfer observer (nil detaches); each
+// Transfer reports its arrival, service start and completion. Like
+// Resource.Observe, attachment never changes timing and survives Reset.
+func (p *Pipe) Observe(fn AcquireFunc) { p.res.Observe(fn) }
 
 // Bytes reports the cumulative bytes transferred.
 func (p *Pipe) Bytes() int64 { return p.bytes }

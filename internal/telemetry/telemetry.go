@@ -1,0 +1,282 @@
+// Package telemetry is the deterministic, virtual-time metrics subsystem of
+// the simulator: counters, gauges and log-bucketed latency histograms keyed
+// by (experiment, machine, component, stage), plus a timeline recorder that
+// turns per-op stage walks into Chrome trace_event spans (timeline.go).
+//
+// The layer is strictly passive. Producers — the op-pipeline engine's stage
+// observer bridge, the sim.Resource/sim.Pipe acquire hooks, the folded
+// rnic/fabric counters — only read simulation state, never advance virtual
+// time, so a run's results are byte-identical with or without telemetry
+// attached (the golden-output regression enforces this, as it does for
+// fabric.FaultPlan). With no registry attached nothing is allocated and
+// every hook is a nil check.
+//
+// Values recorded under one key merge by addition (counters, histogram
+// buckets), so concurrent sweep points produce the same snapshot at any
+// worker-pool width; only Gauge is last-write-wins and reserved for
+// single-threaded use.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"rdmasem/internal/sim"
+)
+
+// Key identifies one metric stream.
+type Key struct {
+	Experiment string // experiment id, e.g. "fig3"; "" outside the harness
+	Machine    string // simulated host, e.g. "m0"; "" for cluster-wide
+	Component  string // producer, e.g. "verbs/WRITE", "nic/pcie-rd", "qpi"
+	Stage      string // stage or counter name, e.g. "executed", "wait", "doorbells"
+}
+
+func (k Key) less(o Key) bool {
+	if k.Experiment != o.Experiment {
+		return k.Experiment < o.Experiment
+	}
+	if k.Machine != o.Machine {
+		return k.Machine < o.Machine
+	}
+	if k.Component != o.Component {
+		return k.Component < o.Component
+	}
+	return k.Stage < o.Stage
+}
+
+// Registry collects metrics from every layer of one process. It is safe for
+// concurrent use: sweep workers simulating disjoint clusters feed one shared
+// registry, and because all updates commute the final snapshot is identical
+// at any pool width.
+type Registry struct {
+	mu         sync.Mutex
+	experiment string
+	counters   map[Key]int64
+	gauges     map[Key]float64
+	hists      map[Key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]int64),
+		gauges:   make(map[Key]float64),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// SetExperiment labels all subsequently created metric streams with the
+// given experiment id. Call it before building the experiment's clusters;
+// streams resolved earlier keep their original label.
+func (r *Registry) SetExperiment(id string) {
+	r.mu.Lock()
+	r.experiment = id
+	r.mu.Unlock()
+}
+
+// Experiment returns the current experiment label.
+func (r *Registry) Experiment() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.experiment
+}
+
+func (r *Registry) key(machine, component, stage string) Key {
+	return Key{Experiment: r.experiment, Machine: machine, Component: component, Stage: stage}
+}
+
+// Count adds delta to the counter under the given key.
+func (r *Registry) Count(machine, component, stage string, delta int64) {
+	r.mu.Lock()
+	r.counters[r.key(machine, component, stage)] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets the gauge under the given key. Gauges are last-write-wins; use
+// them only from single-threaded contexts (examples, end-of-run summaries).
+func (r *Registry) Gauge(machine, component, stage string, v float64) {
+	r.mu.Lock()
+	r.gauges[r.key(machine, component, stage)] = v
+	r.mu.Unlock()
+}
+
+// Hist returns the histogram under the given key, creating it on first use.
+// The returned pointer is stable until the next Take, so hot paths resolve
+// their streams once and observe lock-free of the registry map.
+func (r *Registry) Hist(machine, component, stage string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(machine, component, stage)
+	h := r.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Observe records one duration into the histogram under the given key.
+func (r *Registry) Observe(machine, component, stage string, d sim.Duration) {
+	r.Hist(machine, component, stage).Observe(d)
+}
+
+// CounterEntry is one counter in a snapshot.
+type CounterEntry struct {
+	Key
+	Value int64
+}
+
+// GaugeEntry is one gauge in a snapshot.
+type GaugeEntry struct {
+	Key
+	Value float64
+}
+
+// HistEntry is one histogram in a snapshot, with its quantiles resolved.
+type HistEntry struct {
+	Key
+	Count         int64
+	Sum           sim.Duration
+	Min, Max      sim.Duration
+	P50, P90, P99 sim.Duration
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted deterministically
+// by key.
+type Snapshot struct {
+	Counters []CounterEntry
+	Gauges   []GaugeEntry
+	Hists    []HistEntry
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Hists) == 0
+}
+
+// Snapshot returns a sorted copy of the registry's current contents.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// Take returns a sorted copy of the registry's contents and resets it (the
+// experiment label survives). The harness calls this between experiments.
+func (r *Registry) Take() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snapshotLocked()
+	r.counters = make(map[Key]int64)
+	r.gauges = make(map[Key]float64)
+	r.hists = make(map[Key]*Histogram)
+	return s
+}
+
+func (r *Registry) snapshotLocked() Snapshot {
+	var s Snapshot
+	for k, v := range r.counters {
+		s.Counters = append(s.Counters, CounterEntry{Key: k, Value: v})
+	}
+	for k, v := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeEntry{Key: k, Value: v})
+	}
+	for k, h := range r.hists {
+		count, sum, min, max := h.Stats()
+		if count == 0 {
+			continue
+		}
+		s.Hists = append(s.Hists, HistEntry{
+			Key: k, Count: count, Sum: sum, Min: min, Max: max,
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Key.less(s.Counters[j].Key) })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Key.less(s.Gauges[j].Key) })
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Key.less(s.Hists[j].Key) })
+	return s
+}
+
+// Render prints the snapshot as aligned text: the stage histograms first
+// (count and nanosecond quantiles), then the counters. Machines sharing
+// identical rows are not merged — attribution per machine is the point.
+func (s Snapshot) Render(w io.Writer) {
+	if s.Empty() {
+		fmt.Fprintln(w, "telemetry: no metrics recorded")
+		return
+	}
+	if len(s.Hists) > 0 {
+		rows := [][]string{{"machine", "component", "stage", "count", "p50", "p90", "p99", "max"}}
+		for _, h := range s.Hists {
+			rows = append(rows, []string{
+				orDash(h.Machine), h.Component, h.Stage,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%d", int64(h.P50)),
+				fmt.Sprintf("%d", int64(h.P90)),
+				fmt.Sprintf("%d", int64(h.P99)),
+				fmt.Sprintf("%d", int64(h.Max)),
+			})
+		}
+		fmt.Fprintf(w, "# stage histograms (ns)%s\n", experimentSuffix(s.Hists[0].Experiment))
+		renderRows(w, rows)
+	}
+	if len(s.Counters) > 0 {
+		rows := [][]string{{"machine", "component", "counter", "value"}}
+		for _, c := range s.Counters {
+			rows = append(rows, []string{
+				orDash(c.Machine), c.Component, c.Stage, fmt.Sprintf("%d", c.Value),
+			})
+		}
+		fmt.Fprintf(w, "# counters%s\n", experimentSuffix(s.Counters[0].Experiment))
+		renderRows(w, rows)
+	}
+	if len(s.Gauges) > 0 {
+		rows := [][]string{{"machine", "component", "gauge", "value"}}
+		for _, g := range s.Gauges {
+			rows = append(rows, []string{
+				orDash(g.Machine), g.Component, g.Stage, fmt.Sprintf("%.4g", g.Value),
+			})
+		}
+		fmt.Fprintf(w, "# gauges%s\n", experimentSuffix(s.Gauges[0].Experiment))
+		renderRows(w, rows)
+	}
+}
+
+func experimentSuffix(id string) string {
+	if id == "" {
+		return ""
+	}
+	return " — " + id
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func renderRows(w io.Writer, rows [][]string) {
+	widths := map[int]int{}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}

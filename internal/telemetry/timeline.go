@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rdmasem/internal/sim"
+)
+
+// DefaultTimelineLimit bounds the spans a Timeline keeps by default (~30 MB
+// of JSON). Spans recorded past the limit are counted, not stored, so a full
+// -exp all run cannot exhaust memory.
+const DefaultTimelineLimit = 1 << 18
+
+// Span is one completed stage of one operation: [Start, Start+Dur) on the
+// virtual clock. PID groups spans by cluster, TID by queue pair, so a trace
+// of several sweep points stays readable in the viewer. Op numbers the
+// operations of one QP so a span can be matched back to its walk; Seq is the
+// global record order used only as a deterministic sort tiebreak.
+type Span struct {
+	Name  string // stage name, e.g. "executed"
+	Cat   string // category, e.g. the opcode "WRITE"
+	PID   int64
+	TID   int64
+	Start sim.Time
+	Dur   sim.Duration
+	Op    int64
+	Seq   int64
+}
+
+// Timeline records spans and metadata names and serializes them in Chrome
+// trace_event JSON ("chrome://tracing", Perfetto). It is safe for concurrent
+// use, but PID allocation follows cluster construction order — capture with
+// a sequential sweep pool (-parallel 1) when span grouping must be stable
+// across runs.
+type Timeline struct {
+	mu      sync.Mutex
+	limit   int
+	nextPID int64
+	nextSeq int64
+	dropped atomic.Int64
+	spans   []Span
+	procs   map[int64]string
+	threads map[[2]int64]string
+}
+
+// NewTimeline returns a recorder keeping at most limit spans (limit <= 0
+// selects DefaultTimelineLimit).
+func NewTimeline(limit int) *Timeline {
+	if limit <= 0 {
+		limit = DefaultTimelineLimit
+	}
+	return &Timeline{
+		limit:   limit,
+		procs:   make(map[int64]string),
+		threads: make(map[[2]int64]string),
+	}
+}
+
+// NewGroup allocates a fresh PID and names it (trace viewers show the name
+// as the process row). Clusters call it once at construction.
+func (t *Timeline) NewGroup(name string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextPID++
+	pid := t.nextPID
+	t.procs[pid] = fmt.Sprintf("%s #%d", name, pid)
+	return pid
+}
+
+// NameThread labels one (pid, tid) row, typically "qp3 m0". Renaming is
+// idempotent; the last name wins.
+func (t *Timeline) NameThread(pid, tid int64, name string) {
+	t.mu.Lock()
+	t.threads[[2]int64{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Record stores one span, or counts it as dropped once the limit is reached.
+func (t *Timeline) Record(s Span) {
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.nextSeq++
+	s.Seq = t.nextSeq
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len reports the number of stored spans.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped reports how many spans were discarded at the limit.
+func (t *Timeline) Dropped() int64 { return t.dropped.Load() }
+
+// Spans returns a copy of the stored spans sorted by (PID, TID, Start, Seq).
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// WriteJSON emits the timeline in Chrome trace_event format: an object with
+// a traceEvents array of complete ("X") events plus process/thread name
+// metadata. Timestamps and durations are microseconds with nanosecond
+// precision, as the format requires.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	t.mu.Lock()
+	procs := make([]int64, 0, len(t.procs))
+	for pid := range t.procs {
+		procs = append(procs, pid)
+	}
+	threads := make([][2]int64, 0, len(t.threads))
+	for k := range t.threads {
+		threads = append(threads, k)
+	}
+	procNames := make(map[int64]string, len(t.procs))
+	for k, v := range t.procs {
+		procNames[k] = v
+	}
+	threadNames := make(map[[2]int64]string, len(t.threads))
+	for k, v := range t.threads {
+		threadNames[k] = v
+	}
+	t.mu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i][0] != threads[j][0] {
+			return threads[i][0] < threads[j][0]
+		}
+		return threads[i][1] < threads[j][1]
+	})
+
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			bw.printf(",\n")
+		} else {
+			bw.printf("\n")
+		}
+		first = false
+	}
+	for _, pid := range procs {
+		sep()
+		bw.printf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			pid, jsonString(procNames[pid]))
+	}
+	for _, k := range threads {
+		sep()
+		bw.printf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			k[0], k[1], jsonString(threadNames[k]))
+	}
+	for _, s := range spans {
+		sep()
+		bw.printf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":%s,"ts":%s,"dur":%s,"args":{"op":%d}}`,
+			s.PID, s.TID, jsonString(s.Name), jsonString(s.Cat),
+			micros(int64(s.Start)), micros(int64(s.Dur)), s.Op)
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// micros renders a nanosecond count as a microsecond decimal with no
+// float rounding (trace_event timestamps are microseconds).
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jsonString quotes a string for JSON; the names used here are plain ASCII
+// identifiers, so escaping quotes and backslashes suffices.
+func jsonString(s string) string {
+	var b []byte
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, []byte(fmt.Sprintf(`\u%04x`, c))...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(append(b, '"'))
+}
+
+// errWriter folds repeated fmt.Fprintf error handling into one sticky error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,120 @@
+// The telemetry bridge of the op-pipeline engine: when the owning cluster
+// has a metrics registry or timeline attached (cluster.Config.Telemetry /
+// Config.Timeline), every QP carries a stageMetrics listener that converts
+// the engine's one stage walk into per-opcode stage-to-stage latency
+// histograms and Chrome trace-event spans. The bridge sits beside the
+// user-attachable StageObserver (Trace) — both hear the same walk, neither
+// influences it.
+package verbs
+
+import (
+	"fmt"
+
+	"rdmasem/internal/sim"
+	"rdmasem/internal/telemetry"
+)
+
+// stageMetrics accumulates one QP's stage walks into the telemetry layer.
+// The engine brackets each WR with begin/end (postList), and every observe()
+// between the brackets lands one histogram sample and, with a timeline
+// attached, one contiguous span — so the spans of an op tile its end-to-end
+// latency exactly.
+type stageMetrics struct {
+	reg     *telemetry.Registry
+	tl      *telemetry.Timeline
+	machine string
+	pid     int64
+	tid     int64
+
+	opcode Opcode
+	opSeq  int64
+	start  sim.Time
+	prev   sim.Time
+	active bool
+
+	hists map[stageHistKey]*telemetry.Histogram
+}
+
+type stageHistKey struct {
+	opcode Opcode
+	stage  string
+}
+
+// newStageMetrics builds the bridge for one QP. Either of reg and tl may be
+// nil; the corresponding sink is skipped.
+func newStageMetrics(reg *telemetry.Registry, tl *telemetry.Timeline, machine string, pid int64, qp uint64, kind string) *stageMetrics {
+	m := &stageMetrics{
+		reg:     reg,
+		tl:      tl,
+		machine: machine,
+		pid:     pid,
+		tid:     int64(qp),
+		hists:   make(map[stageHistKey]*telemetry.Histogram),
+	}
+	if tl != nil {
+		tl.NameThread(m.pid, m.tid, fmt.Sprintf("%s%d %s", kind, qp, machine))
+	}
+	return m
+}
+
+// hist resolves (and caches) the histogram for one (opcode, stage) stream.
+func (m *stageMetrics) hist(op Opcode, stage string) *telemetry.Histogram {
+	k := stageHistKey{op, stage}
+	h := m.hists[k]
+	if h == nil {
+		h = m.reg.Hist(m.machine, "verbs/"+op.String(), stage)
+		m.hists[k] = h
+	}
+	return h
+}
+
+// begin opens the bracket for one WR posted at the given time. The first WR
+// of a doorbell list owns the list-shared stages (doorbell MMIO, batched WQE
+// fetch); later WRs begin after them.
+func (m *stageMetrics) begin(op Opcode, at sim.Time) {
+	m.opcode = op
+	m.opSeq++
+	m.start = at
+	m.prev = at
+	m.active = true
+}
+
+// stage records one stage boundary: a histogram sample of the latency since
+// the previous boundary and a span covering it. Out-of-order timestamps
+// (e.g. UD's local completion racing the remote delivery) are skipped rather
+// than recorded as negative.
+func (m *stageMetrics) stage(st Stage, at sim.Time) {
+	if !m.active || at < m.prev {
+		return
+	}
+	name := st.String()
+	if m.reg != nil {
+		m.hist(m.opcode, name).Observe(at - m.prev)
+	}
+	if m.tl != nil {
+		m.tl.Record(telemetry.Span{
+			Name:  name,
+			Cat:   m.opcode.String(),
+			PID:   m.pid,
+			TID:   m.tid,
+			Start: m.prev,
+			Dur:   at - m.prev,
+			Op:    m.opSeq,
+		})
+	}
+	m.prev = at
+}
+
+// end closes the bracket at the WR's completion time: the tail (CQE
+// generation) becomes the final stage sample/span and the whole walk lands
+// in the e2e histogram.
+func (m *stageMetrics) end(at sim.Time) {
+	if !m.active {
+		return
+	}
+	m.stage(StageCompleted, at)
+	if m.reg != nil && at >= m.start {
+		m.hist(m.opcode, "e2e").Observe(at - m.start)
+	}
+	m.active = false
+}

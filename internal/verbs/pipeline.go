@@ -42,6 +42,7 @@ type qpState struct {
 	recvCQ    *CQ
 	recvQ     []RecvWR
 	obs       StageObserver // active stage listener, else nil
+	met       *stageMetrics // telemetry bridge, else nil (cluster had no registry/timeline)
 	state     State         // READY until reliability retries exhaust (or ForceError)
 	policy    RetryPolicy   // reliability knobs; only read on a faulty fabric
 	stats     QPStats       // reliability tally; all zero on a lossless fabric
@@ -51,7 +52,7 @@ type qpState struct {
 // from the machine's cluster-wide allocator.
 func newQPState(ctx *Context, t Transport, port int, kind string) qpState {
 	id := ctx.machine.NextQPID()
-	return qpState{
+	s := qpState{
 		id:        id,
 		ctx:       ctx,
 		transport: t,
@@ -62,12 +63,42 @@ func newQPState(ctx *Context, t Transport, port int, kind string) qpState {
 		recvCQ:    NewCQ(),
 		policy:    DefaultRetryPolicy(),
 	}
+	if reg, tl := ctx.machine.Telemetry(), ctx.machine.Timeline(); reg != nil || tl != nil {
+		s.met = newStageMetrics(reg, tl, ctx.machine.Label(), ctx.machine.TimelinePID(), id, kind)
+		if reg != nil {
+			wait := reg.Hist(ctx.machine.Label(), kind+"/pipeline", "wait")
+			service := reg.Hist(ctx.machine.Label(), kind+"/pipeline", "service")
+			s.pipeline.Observe(func(arrival, start, end sim.Time) {
+				wait.Observe(start - arrival)
+				service.Observe(end - start)
+			})
+		}
+	}
+	return s
 }
 
-// observe forwards a stage transition to the attached observer, if any.
+// observe forwards a stage transition to the attached observer, if any, and
+// to the telemetry bridge.
 func (s *qpState) observe(st Stage, at sim.Time) {
 	if s.obs != nil {
 		s.obs.ObserveStage(st, at)
+	}
+	if s.met != nil {
+		s.met.stage(st, at)
+	}
+}
+
+// metBegin opens the telemetry bracket for one WR (no-op without telemetry).
+func (s *qpState) metBegin(op Opcode, at sim.Time) {
+	if s.met != nil {
+		s.met.begin(op, at)
+	}
+}
+
+// metEnd closes the telemetry bracket at the WR's completion time.
+func (s *qpState) metEnd(at sim.Time) {
+	if s.met != nil {
+		s.met.end(at)
 	}
 }
 
@@ -164,6 +195,10 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 			allInline = false
 		}
 	}
+	// The first WR of the list owns the list-shared stages (doorbell MMIO,
+	// batched WQE fetch) in the telemetry decomposition; later WRs open their
+	// bracket at the per-WR loop below.
+	src.metBegin(wrs[0].Opcode, now)
 	t := nic.Doorbell(now, len(wrs), inlineBytes)
 	src.observe(StagePosted, t)
 	if src.transport != UD && !allInline {
@@ -179,10 +214,14 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 		drops = make([]bool, 0, len(wrs))
 	}
 	for i, wr := range wrs {
+		if i > 0 {
+			src.metBegin(wr.Opcode, t)
+		}
 		c, dropped, err := executeOne(src, dst, t, wr)
 		if err != nil {
 			return comps, drops, err
 		}
+		src.metEnd(c.Done)
 		comps = append(comps, c)
 		if src.transport == UD {
 			drops = append(drops, dropped)
