@@ -338,3 +338,73 @@ func TestLockValidation(t *testing.T) {
 	}
 	_ = mem.Addr(0)
 }
+
+func TestBackoffClampNonPowerOfTwoMax(t *testing.T) {
+	// Base=500ns, Max=3µs: the waits must walk 500, 1000, 2000, 3000 and
+	// hold there. The pre-fix doubling ("double whenever delay < Max")
+	// overshot the cap to 4000 and stayed there forever.
+	max := 6 * sim.Duration(500)
+	delay := sim.Duration(500)
+	want := []sim.Duration{1000, 2000, 3000, 3000, 3000}
+	for i, w := range want {
+		delay = nextBackoff(delay, max)
+		if delay != w {
+			t.Fatalf("step %d: delay %v, want %v", i, delay, w)
+		}
+		if delay > max {
+			t.Fatalf("step %d: delay %v exceeds Max %v", i, delay, max)
+		}
+	}
+}
+
+func TestBackoffClampDefaultSequenceUnchanged(t *testing.T) {
+	// DefaultBackoff's 500ns -> 4µs cap is an exact power-of-two multiple,
+	// so the clamped walk is identical to the historical one — which is why
+	// the figure goldens did not shift with the fix.
+	b := DefaultBackoff()
+	delay := b.Base
+	want := []sim.Duration{1000, 2000, 4000, 4000, 4000}
+	for i, w := range want {
+		delay = nextBackoff(delay, b.Max)
+		if delay != w {
+			t.Fatalf("step %d: delay %v, want %v", i, delay, w)
+		}
+	}
+}
+
+func TestLocalLockBackoffNeverExceedsMax(t *testing.T) {
+	// Drive a contended LocalLock with a non-power-of-two cap and check the
+	// spin gaps: each failed probe waits at most Max on top of the probe
+	// cost, so consecutive probe starts are separated by <= probeCost + Max.
+	tp := topo.DefaultParams()
+	state := NewLockState()
+	line := NewLocalLockLine()
+	backoff := &BackoffConfig{Base: 500, Max: 3 * sim.Duration(1000)}
+	holder := NewLocalLock(state, line, tp, 0, nil)
+	spinner := NewLocalLock(state, line, tp, 1, backoff)
+
+	at := holder.Acquire(0)
+	var probes []sim.Time
+	line.Observe(func(arrival, start, end sim.Time) {
+		probes = append(probes, arrival)
+	})
+	// Schedule the release at a future virtual time first (the kernel is
+	// synchronous over virtual time), then let the spinner probe through the
+	// held window: it backs off between failed probes and wins once its
+	// probe lands past the release.
+	release := holder.Release(at + 40*sim.Duration(1000))
+	got := spinner.Acquire(at)
+	if got < release {
+		t.Fatalf("acquired at %v before release at %v", got, release)
+	}
+	if len(probes) < 3 {
+		t.Fatalf("expected several backed-off probes, saw %d", len(probes))
+	}
+	probeCost := 2 * tp.AtomicBounce * sim.Duration(state.participants)
+	for i := 1; i < len(probes); i++ {
+		gap := probes[i] - probes[i-1]
+		if gap > probeCost+backoff.Max {
+			t.Fatalf("probe gap %v exceeds probe cost %v + Max %v", gap, probeCost, backoff.Max)
+		}
+	}
+}

@@ -73,6 +73,11 @@ type RemoteLock struct {
 	addr    mem.Addr
 	id      int
 	backoff *BackoffConfig // nil = naive spinning
+
+	// Reusable CAS work requests, so spinning under contention stays off the
+	// heap: casWR tries 0 -> id+1, relWR reverses it.
+	casWR verbs.SendWR
+	relWR verbs.SendWR
 }
 
 // NewRemoteLock creates one client's handle to a shared remote lock word.
@@ -83,21 +88,31 @@ func NewRemoteLock(state *LockState, qp *verbs.QP, scratch verbs.SGE, rmr *verbs
 	if scratch.Length != 8 {
 		return nil, fmt.Errorf("core: lock scratch buffer must be 8 bytes")
 	}
-	return &RemoteLock{state: state, qp: qp, scratch: scratch, rmr: rmr, addr: addr, id: clientID, backoff: backoff}, nil
+	l := &RemoteLock{state: state, qp: qp, scratch: scratch, rmr: rmr, addr: addr, id: clientID, backoff: backoff}
+	l.casWR = verbs.SendWR{
+		Opcode:     verbs.OpCompSwap,
+		SGL:        []verbs.SGE{scratch},
+		RemoteAddr: addr,
+		RemoteKey:  rmr.RKey(),
+		CompareAdd: 0,
+		Swap:       uint64(clientID) + 1,
+	}
+	l.relWR = verbs.SendWR{
+		Opcode:     verbs.OpCompSwap,
+		SGL:        []verbs.SGE{scratch},
+		RemoteAddr: addr,
+		RemoteKey:  rmr.RKey(),
+		CompareAdd: uint64(clientID) + 1,
+		Swap:       0,
+	}
+	return l, nil
 }
 
 // cas issues one CAS attempt through the verbs stack and returns its
 // completion time (the attempt's cost and its contention on the remote
 // atomic unit are fully charged regardless of success).
 func (l *RemoteLock) cas(now sim.Time) (sim.Time, error) {
-	comp, err := l.qp.PostSend(now, &verbs.SendWR{
-		Opcode:     verbs.OpCompSwap,
-		SGL:        []verbs.SGE{l.scratch},
-		RemoteAddr: l.addr,
-		RemoteKey:  l.rmr.RKey(),
-		CompareAdd: 0,
-		Swap:       uint64(l.id) + 1,
-	})
+	comp, err := l.qp.PostSend(now, &l.casWR)
 	if err != nil {
 		return 0, err
 	}
@@ -121,11 +136,20 @@ func (l *RemoteLock) Acquire(now sim.Time) (sim.Time, error) {
 		now = t
 		if l.backoff != nil {
 			now += delay
-			if delay < l.backoff.Max {
-				delay *= 2
-			}
+			delay = nextBackoff(delay, l.backoff.Max)
 		}
 	}
+}
+
+// nextBackoff doubles the delay, clamped to max: with a non-power-of-two cap
+// (say Base=500ns, Max=3µs) the sequence is 500, 1000, 2000, 3000, 3000, …
+// rather than overshooting to 4000.
+func nextBackoff(delay, max sim.Duration) sim.Duration {
+	delay *= 2
+	if delay > max {
+		delay = max
+	}
+	return delay
 }
 
 // Release clears the lock word with a CAS(owner -> 0). Using an atomic for
@@ -134,14 +158,7 @@ func (l *RemoteLock) Acquire(now sim.Time) (sim.Time, error) {
 // naive remote spinlock collapse under contention in Figure 10(a), and that
 // exponential back-off relieves.
 func (l *RemoteLock) Release(now sim.Time) (sim.Time, error) {
-	comp, err := l.qp.PostSend(now, &verbs.SendWR{
-		Opcode:     verbs.OpCompSwap,
-		SGL:        []verbs.SGE{l.scratch},
-		RemoteAddr: l.addr,
-		RemoteKey:  l.rmr.RKey(),
-		CompareAdd: uint64(l.id) + 1,
-		Swap:       0,
-	})
+	comp, err := l.qp.PostSend(now, &l.relWR)
 	if err != nil {
 		return 0, err
 	}
@@ -199,9 +216,7 @@ func (l *LocalLock) Acquire(now sim.Time) sim.Time {
 		now = t
 		if l.backoff != nil {
 			now += delay
-			if delay < l.backoff.Max {
-				delay *= 2
-			}
+			delay = nextBackoff(delay, l.backoff.Max)
 		}
 	}
 }

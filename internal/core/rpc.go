@@ -43,6 +43,11 @@ type RPCClient struct {
 	serverQP *verbs.QP // server side (peer)
 	reqMR    *verbs.MR // client-side buffers (requests out, responses in)
 	recvOff  int       // rotating offsets into the buffers
+
+	// Reusable work requests for the two SENDs of each exchange; Call
+	// rewrites the lengths in place so closed-loop drivers stay off the heap.
+	reqWR  verbs.SendWR
+	respWR verbs.SendWR
 }
 
 // NewRPCClient connects a client context to the server over the given ports.
@@ -51,7 +56,16 @@ func (s *RPCServer) NewRPCClient(client *verbs.Context, clientPort, serverPort i
 	if err != nil {
 		return nil, err
 	}
-	return &RPCClient{server: s, clientQP: cq, serverQP: sq, reqMR: clientMR}, nil
+	c := &RPCClient{server: s, clientQP: cq, serverQP: sq, reqMR: clientMR}
+	c.reqWR = verbs.SendWR{
+		Opcode: verbs.OpSend,
+		SGL:    []verbs.SGE{{Addr: clientMR.Addr(), MR: clientMR}},
+	}
+	c.respWR = verbs.SendWR{
+		Opcode: verbs.OpSend,
+		SGL:    []verbs.SGE{{Addr: s.mr.Addr(), MR: s.mr}},
+	}
+	return c, nil
 }
 
 // Call performs one request/response exchange: SEND to the server, server
@@ -73,31 +87,27 @@ func (c *RPCClient) Call(now sim.Time, reqSize, respSize int, handler func(at si
 		return 0, 0, err
 	}
 	// Request.
-	if _, err := c.clientQP.PostSend(now, &verbs.SendWR{
-		Opcode: verbs.OpSend,
-		SGL:    []verbs.SGE{{Addr: c.reqMR.Addr(), Length: reqSize, MR: c.reqMR}},
-	}); err != nil {
+	c.reqWR.SGL[0].Length = reqSize
+	if _, err := c.clientQP.PostSend(now, &c.reqWR); err != nil {
 		return 0, 0, err
 	}
-	cqes := c.serverQP.RecvCQ().Poll(sim.MaxTime, 1)
-	if len(cqes) != 1 {
+	cqe, ok := c.serverQP.RecvCQ().PollOne(sim.MaxTime)
+	if !ok {
 		return 0, 0, fmt.Errorf("core: rpc request did not arrive")
 	}
 	// Server CPU: request parsing + handler logic.
-	t := s.cpu.Delay(cqes[0].Time, s.service)
+	t := s.cpu.Delay(cqe.Time, s.service)
 	var result uint64
 	if handler != nil {
 		result = handler(t)
 	}
 	// Response.
-	comp, err := c.serverQP.PostSend(t, &verbs.SendWR{
-		Opcode: verbs.OpSend,
-		SGL:    []verbs.SGE{{Addr: s.mr.Addr(), Length: respSize, MR: s.mr}},
-	})
+	c.respWR.SGL[0].Length = respSize
+	comp, err := c.serverQP.PostSend(t, &c.respWR)
 	if err != nil {
 		return 0, 0, err
 	}
 	// Drain the client's response CQE.
-	c.clientQP.RecvCQ().Poll(sim.MaxTime, 1)
+	c.clientQP.RecvCQ().PollOne(sim.MaxTime)
 	return result, comp.Done, nil
 }

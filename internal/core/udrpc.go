@@ -89,11 +89,11 @@ func (c *UDRPCClient) Call(now sim.Time, reqSize, respSize int, handler func(at 
 	} else if dropped {
 		return 0, 0, fmt.Errorf("core: ud rpc request dropped")
 	}
-	cqes := s.qp.RecvCQ().Poll(sim.MaxTime, 1)
-	if len(cqes) != 1 {
+	cqe, ok := s.qp.RecvCQ().PollOne(sim.MaxTime)
+	if !ok {
 		return 0, 0, fmt.Errorf("core: ud rpc request did not arrive")
 	}
-	t := s.cpu.Delay(cqes[0].Time, s.service)
+	t := s.cpu.Delay(cqe.Time, s.service)
 	var result uint64
 	if handler != nil {
 		result = handler(t)
@@ -105,9 +105,9 @@ func (c *UDRPCClient) Call(now sim.Time, reqSize, respSize int, handler func(at 
 	} else if dropped {
 		return 0, 0, fmt.Errorf("core: ud rpc response dropped")
 	}
-	rcqes := c.qp.RecvCQ().Poll(sim.MaxTime, 1)
-	if len(rcqes) != 1 {
+	rcqe, ok := c.qp.RecvCQ().PollOne(sim.MaxTime)
+	if !ok {
 		return 0, 0, fmt.Errorf("core: ud rpc response did not arrive")
 	}
-	return result, rcqes[0].Time, nil
+	return result, rcqe.Time, nil
 }

@@ -73,6 +73,15 @@ type Batcher struct {
 	localMR  *verbs.MR
 	staging  *verbs.MR // SP staging buffer; nil for other strategies
 	remoteMR *verbs.MR
+
+	// Reusable work-request scratch, rebuilt in place on every WriteBatch so
+	// closed-loop sweep drivers stay off the heap. The slices grow to the
+	// largest batch seen and are only valid until the next call.
+	wr   verbs.SendWR    // the single WR of the SP and SGL strategies
+	sgl  []verbs.SGE     // SGL backing wr
+	wrs  []*verbs.SendWR // doorbell list
+	dbWR []verbs.SendWR  // backing store for wrs
+	dbSG []verbs.SGE     // one SGE per doorbell WR
 }
 
 // NewBatcher creates a batcher. For the SP strategy, staging must be a local
@@ -134,30 +143,50 @@ func (b *Batcher) writeSP(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (
 		total += f.Length
 	}
 	cpu += WRBuildCost + SGEBuildCost + PostCPUCost
-	// The gather burns the caller's CPU before the post happens.
-	comp, err := b.qp.PostSend(now+cpu, &verbs.SendWR{
+	sgl := b.sglScratch(1)
+	sgl[0] = verbs.SGE{Addr: stage.Addr(), Length: total, MR: b.staging}
+	b.wr = verbs.SendWR{
 		Opcode:     verbs.OpWrite,
-		SGL:        []verbs.SGE{{Addr: stage.Addr(), Length: total, MR: b.staging}},
+		SGL:        sgl,
 		RemoteAddr: remoteAddr,
 		RemoteKey:  b.remoteMR.RKey(),
-	})
+	}
+	// The gather burns the caller's CPU before the post happens.
+	comp, err := b.qp.PostSend(now+cpu, &b.wr)
 	if err != nil {
 		return BatchResult{}, err
 	}
 	return BatchResult{Done: comp.Done, CPU: cpu, Requests: 1}, nil
 }
 
-// writeDoorbell posts one WR per fragment under a single doorbell.
+// sglScratch returns the reusable length-n SGE slice backing b.wr.
+func (b *Batcher) sglScratch(n int) []verbs.SGE {
+	if cap(b.sgl) < n {
+		b.sgl = make([]verbs.SGE, n)
+	}
+	return b.sgl[:n]
+}
+
+// writeDoorbell posts one WR per fragment under a single doorbell, rebuilding
+// the batcher's reusable WR list in place.
 func (b *Batcher) writeDoorbell(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (BatchResult, error) {
-	wrs := make([]*verbs.SendWR, len(frags))
+	n := len(frags)
+	if cap(b.dbWR) < n {
+		b.dbWR = make([]verbs.SendWR, n)
+		b.dbSG = make([]verbs.SGE, n)
+		b.wrs = make([]*verbs.SendWR, n)
+	}
+	wrs := b.wrs[:n]
 	off := 0
 	for i, f := range frags {
-		wrs[i] = &verbs.SendWR{
+		b.dbSG[i] = verbs.SGE{Addr: f.Addr, Length: f.Length, MR: b.localMR}
+		b.dbWR[i] = verbs.SendWR{
 			Opcode:     verbs.OpWrite,
-			SGL:        []verbs.SGE{{Addr: f.Addr, Length: f.Length, MR: b.localMR}},
+			SGL:        b.dbSG[i : i+1],
 			RemoteAddr: remoteAddr + mem.Addr(off),
 			RemoteKey:  b.remoteMR.RKey(),
 		}
+		wrs[i] = &b.dbWR[i]
 		off += f.Length
 	}
 	cpu := sim.Duration(len(frags))*(WRBuildCost+SGEBuildCost) + PostCPUCost
@@ -170,17 +199,18 @@ func (b *Batcher) writeDoorbell(now sim.Time, frags []Fragment, remoteAddr mem.A
 
 // writeSGL posts one WR with one SGE per fragment.
 func (b *Batcher) writeSGL(now sim.Time, frags []Fragment, remoteAddr mem.Addr) (BatchResult, error) {
-	sgl := make([]verbs.SGE, len(frags))
+	sgl := b.sglScratch(len(frags))
 	for i, f := range frags {
 		sgl[i] = verbs.SGE{Addr: f.Addr, Length: f.Length, MR: b.localMR}
 	}
 	cpu := WRBuildCost + sim.Duration(len(frags))*SGEBuildCost + PostCPUCost
-	comp, err := b.qp.PostSend(now+cpu, &verbs.SendWR{
+	b.wr = verbs.SendWR{
 		Opcode:     verbs.OpWrite,
 		SGL:        sgl,
 		RemoteAddr: remoteAddr,
 		RemoteKey:  b.remoteMR.RKey(),
-	})
+	}
+	comp, err := b.qp.PostSend(now+cpu, &b.wr)
 	if err != nil {
 		return BatchResult{}, err
 	}

@@ -1,21 +1,34 @@
 package rnic
 
-import "container/list"
-
 // LRU is a fixed-capacity least-recently-used set of uint64 keys. It models
 // the RNIC's on-device SRAM metadata caches (address-translation entries, QP
 // context, MR records): Access touches a key, reporting whether it was
 // already resident, and evicts the coldest entry on insertion when full.
 //
+// The recency order is an intrusive doubly-linked list over a preallocated
+// node slice (indices, not pointers), so steady-state Access never allocates:
+// a miss either reuses the evicted node or takes one from the free list that
+// was carved out up front.
+//
 // LRU is not safe for concurrent use; the simulation kernel is single
 // threaded over virtual time.
 type LRU struct {
 	capacity int
-	entries  map[uint64]*list.Element
-	order    *list.List // front = most recent
+	entries  map[uint64]int32 // key -> node index
+	nodes    []lruNode
+	head     int32 // most recent, or lruNil
+	tail     int32 // least recent, or lruNil
+	free     int32 // next unused node, chained through next
 	hits     int64
 	misses   int64
 }
+
+type lruNode struct {
+	key        uint64
+	prev, next int32
+}
+
+const lruNil = int32(-1)
 
 // NewLRU returns an empty cache with the given capacity. Capacity 0 yields a
 // cache that always misses (useful for ablations).
@@ -23,18 +36,32 @@ func NewLRU(capacity int) *LRU {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &LRU{
+	c := &LRU{
 		capacity: capacity,
-		entries:  make(map[uint64]*list.Element),
-		order:    list.New(),
+		entries:  make(map[uint64]int32, capacity),
+		nodes:    make([]lruNode, capacity),
+		head:     lruNil,
+		tail:     lruNil,
+		free:     lruNil,
+	}
+	c.chainFree()
+	return c
+}
+
+// chainFree links every node into the free list.
+func (c *LRU) chainFree() {
+	c.free = lruNil
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		c.nodes[i].next = c.free
+		c.free = int32(i)
 	}
 }
 
 // Access touches key, returning true on a hit. On a miss the key is inserted
 // (evicting the LRU entry if the cache is full).
 func (c *LRU) Access(key uint64) bool {
-	if e, ok := c.entries[key]; ok {
-		c.order.MoveToFront(e)
+	if i, ok := c.entries[key]; ok {
+		c.moveToFront(i)
 		c.hits++
 		return true
 	}
@@ -42,13 +69,57 @@ func (c *LRU) Access(key uint64) bool {
 	if c.capacity == 0 {
 		return false
 	}
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(uint64))
+	var i int32
+	if c.free != lruNil {
+		i = c.free
+		c.free = c.nodes[i].next
+	} else {
+		// Full: reuse the coldest node in place.
+		i = c.tail
+		delete(c.entries, c.nodes[i].key)
+		c.unlink(i)
 	}
-	c.entries[key] = c.order.PushFront(key)
+	c.nodes[i].key = key
+	c.pushFront(i)
+	c.entries[key] = i
 	return false
+}
+
+// unlink removes node i from the recency list.
+func (c *LRU) unlink(i int32) {
+	n := c.nodes[i]
+	if n.prev != lruNil {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != lruNil {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+// pushFront links node i at the head of the recency list.
+func (c *LRU) pushFront(i int32) {
+	c.nodes[i].prev = lruNil
+	c.nodes[i].next = c.head
+	if c.head != lruNil {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == lruNil {
+		c.tail = i
+	}
+}
+
+// moveToFront makes node i the most recent.
+func (c *LRU) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // Contains reports residency without touching recency or statistics.
@@ -58,7 +129,7 @@ func (c *LRU) Contains(key uint64) bool {
 }
 
 // Len returns the number of resident entries.
-func (c *LRU) Len() int { return c.order.Len() }
+func (c *LRU) Len() int { return len(c.entries) }
 
 // Cap returns the configured capacity.
 func (c *LRU) Cap() int { return c.capacity }
@@ -78,9 +149,12 @@ func (c *LRU) HitRate() float64 {
 	return float64(c.hits) / float64(total)
 }
 
-// Reset empties the cache and clears statistics.
+// Reset empties the cache and clears statistics. The entries map and node
+// slice are reused, so sweep points that reset caches between runs do not
+// churn the heap.
 func (c *LRU) Reset() {
-	c.entries = make(map[uint64]*list.Element)
-	c.order.Init()
+	clear(c.entries)
+	c.head, c.tail = lruNil, lruNil
+	c.chainFree()
 	c.hits, c.misses = 0, 0
 }

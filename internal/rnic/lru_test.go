@@ -144,3 +144,54 @@ func TestLRURetainsMostRecentProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The steady-state hot path is allocation-free: once the node pool is carved
+// out at construction, neither hits, nor evicting misses, nor Reset touch
+// the heap.
+func TestLRUSteadyStateAllocFree(t *testing.T) {
+	c := NewLRU(16)
+	for k := uint64(0); k < 16; k++ {
+		c.Access(k) // populate: map growth may allocate here, once
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Access(3)   // hit
+		c.Access(999) // evicting miss
+		c.Access(999) // hit on the fresh entry
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Access allocates %.1f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		c.Reset()
+		for k := uint64(0); k < 16; k++ {
+			c.Access(k)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+refill allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkLRUResetRefill(b *testing.B) {
+	c := NewLRU(1024)
+	for k := uint64(0); k < 1024; k++ {
+		c.Access(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		for k := uint64(0); k < 256; k++ {
+			c.Access(k)
+		}
+	}
+}
+
+func BenchmarkLRUAccessMix(b *testing.B) {
+	c := NewLRU(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i % 96)) // ~2/3 hits, 1/3 evicting misses
+	}
+}

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -19,21 +20,37 @@ type Point struct {
 type Series struct {
 	Label  string
 	Points []Point
+
+	// index maps each x's bit pattern to its y for O(1) YAt lookups during
+	// rendering; it folds Points in lazily so direct appends to the exported
+	// slice are picked up too.
+	index   map[uint64]float64
+	indexed int // number of Points already folded into index
 }
 
-// Add appends a sample.
+// Add appends a sample. Adding a second point with an exact-bit-equal x
+// shadows the first: YAt and the rendered figure report the last write.
 func (s *Series) Add(x, y float64) {
 	s.Points = append(s.Points, Point{X: x, Y: y})
 }
 
-// YAt returns the y value at the given x, and whether it exists.
+// YAt returns the y value at the given x, and whether it exists. The x must
+// match bit-for-bit: two drivers computing the "same" x through different
+// float rounding produce distinct columns, never a silent blank cell.
 func (s *Series) YAt(x float64) (float64, bool) {
-	for _, p := range s.Points {
-		if p.X == x {
-			return p.Y, true
-		}
+	if s.indexed > len(s.Points) {
+		// Points was truncated or replaced; rebuild from scratch.
+		s.index, s.indexed = nil, 0
 	}
-	return 0, false
+	if s.index == nil {
+		s.index = make(map[uint64]float64, len(s.Points))
+	}
+	for ; s.indexed < len(s.Points); s.indexed++ {
+		p := s.Points[s.indexed]
+		s.index[math.Float64bits(p.X)] = p.Y
+	}
+	y, ok := s.index[math.Float64bits(x)]
+	return y, ok
 }
 
 // MaxY returns the largest y value (0 for an empty series).

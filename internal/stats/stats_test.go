@@ -104,3 +104,55 @@ func TestFormatNum(t *testing.T) {
 		t.Fatalf("got %q", formatNum(0.25))
 	}
 }
+
+func TestSeriesDuplicateXLastWriteWins(t *testing.T) {
+	s := &Series{Label: "dup"}
+	s.Add(2, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt(2)=%v,%v; duplicated x must surface the last write", y, ok)
+	}
+	// The rendered figure reports the same value — the duplicate is
+	// shadowed, never a silently divergent cell.
+	f := NewFigure("t", "x", "y")
+	*f.Line("dup") = *s
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "20.000") || strings.Contains(b.String(), "10.000") {
+		t.Fatalf("render shows the shadowed value:\n%s", b.String())
+	}
+}
+
+func TestSeriesYAtAfterDirectAppend(t *testing.T) {
+	// Points is exported; the lazy index must fold samples appended after a
+	// lookup already built it.
+	s := &Series{Label: "direct"}
+	s.Add(1, 1)
+	if _, ok := s.YAt(1); !ok {
+		t.Fatal("YAt(1) missed")
+	}
+	s.Points = append(s.Points, Point{X: 5, Y: 55})
+	if y, ok := s.YAt(5); !ok || y != 55 {
+		t.Fatalf("YAt(5)=%v,%v after direct append", y, ok)
+	}
+	s.Points = s.Points[:1]
+	if _, ok := s.YAt(5); ok {
+		t.Fatal("YAt(5) must miss after truncation")
+	}
+}
+
+func TestSeriesYAtBitExact(t *testing.T) {
+	// Two x values that print identically but differ in their low bits are
+	// distinct columns: YAt matches bit patterns, not rounded text.
+	s := &Series{Label: "bits"}
+	a, b := 0.1, 0.2
+	x1 := a + b // 0.30000000000000004 (runtime float64 arithmetic)
+	x2 := 0.3
+	s.Add(x1, 1)
+	if _, ok := s.YAt(x2); ok {
+		t.Fatal("0.3 must not match 0.1+0.2")
+	}
+	if y, ok := s.YAt(x1); !ok || y != 1 {
+		t.Fatalf("YAt(x1)=%v,%v", y, ok)
+	}
+}

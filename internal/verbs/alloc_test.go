@@ -1,0 +1,104 @@
+package verbs
+
+import (
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/telemetry"
+)
+
+// CI-enforced allocation budgets for the pooled op-pipeline hot path. These
+// fail if a change re-introduces per-op heap traffic that the per-QP scratch
+// pools (opScratch), the CQ dequeue reuse, or the interned telemetry streams
+// were added to eliminate.
+
+// TestPostSendSteadyStateAllocFree pins the RC PostSend hot path — posted WR
+// through completion, CQE drained — to zero allocations per operation.
+func TestPostSendSteadyStateAllocFree(t *testing.T) {
+	e := newPair(t)
+	wr := &SendWR{
+		Opcode:     OpWrite,
+		SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 64, MR: e.mrA}},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+	}
+	now := sim.Time(0)
+	post := func() {
+		c, err := e.qpA.PostSend(now, wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = c.Done
+		e.qpA.SendCQ().PollOne(now)
+	}
+	post() // warm the scratch pools and CQ backing array
+	if allocs := testing.AllocsPerRun(200, post); allocs != 0 {
+		t.Fatalf("steady-state RC WRITE PostSend allocates %.2f/op, want 0", allocs)
+	}
+
+	wr.Opcode = OpRead
+	post()
+	if allocs := testing.AllocsPerRun(200, post); allocs != 0 {
+		t.Fatalf("steady-state RC READ PostSend allocates %.2f/op, want 0", allocs)
+	}
+
+	wr.Opcode = OpCompSwap
+	wr.SGL[0].Length = 8
+	post()
+	if allocs := testing.AllocsPerRun(200, post); allocs != 0 {
+		t.Fatalf("steady-state RC CAS PostSend allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestTelemetryObservePathAllocFree pins the metrics-attached op: once the
+// per-(opcode, stage) histogram streams exist, the whole stage-observer
+// bridge — array-interned lookups plus Histogram.Observe — stays off the
+// heap.
+func TestTelemetryObservePathAllocFree(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cfg.Telemetry = telemetry.NewRegistry()
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA := NewContext(cl.Machine(0))
+	ctxB := NewContext(cl.Machine(1))
+	qpA, _, err := Connect(ctxA, 1, ctxB, 1, RC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrA := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	mrB := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+	wr := &SendWR{
+		Opcode:     OpWrite,
+		SGL:        []SGE{{Addr: mrA.Addr(), Length: 64, MR: mrA}},
+		RemoteAddr: mrB.Addr(),
+		RemoteKey:  mrB.RKey(),
+	}
+	now := sim.Time(0)
+	post := func() {
+		c, err := qpA.PostSend(now, wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = c.Done
+		qpA.SendCQ().PollOne(now)
+	}
+	post() // resolve the histogram streams and warm the pools
+	if allocs := testing.AllocsPerRun(200, post); allocs != 0 {
+		t.Fatalf("metrics-attached PostSend allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestVerbsComponentNamesInterned pins the interned telemetry component
+// strings to Opcode.String, so the array cache can never drift from the key
+// the registry would have built by concatenation.
+func TestVerbsComponentNamesInterned(t *testing.T) {
+	for op := OpWrite; op <= OpSend; op++ {
+		if got, want := verbsComponents[op], "verbs/"+op.String(); got != want {
+			t.Fatalf("verbsComponents[%v] = %q, want %q", op, got, want)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"rdmasem/internal/cluster"
+	"rdmasem/internal/fabric"
 	"rdmasem/internal/sim"
+	"rdmasem/internal/telemetry"
 )
 
 // Host-side microbenchmarks: simulated operations executed per host second.
@@ -36,6 +38,7 @@ func BenchmarkPostSendWrite64(b *testing.B) {
 		RemoteAddr: e.mrB.Addr(),
 		RemoteKey:  e.mrB.RKey(),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	now := sim.Time(0)
 	for i := 0; i < b.N; i++ {
@@ -56,6 +59,7 @@ func BenchmarkPostSendFetchAdd(b *testing.B) {
 		RemoteKey:  e.mrB.RKey(),
 		CompareAdd: 1,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	now := sim.Time(0)
 	for i := 0; i < b.N; i++ {
@@ -78,6 +82,7 @@ func BenchmarkPostSendList16(b *testing.B) {
 			RemoteKey:  e.mrB.RKey(),
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	now := sim.Time(0)
 	for i := 0; i < b.N; i++ {
@@ -86,5 +91,121 @@ func BenchmarkPostSendList16(b *testing.B) {
 			b.Fatal(err)
 		}
 		now = comps[len(comps)-1].Done
+	}
+}
+
+func BenchmarkPostSendRead256(b *testing.B) {
+	e := benchEnv(b)
+	wr := &SendWR{
+		Opcode:     OpRead,
+		SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 256, MR: e.mrA}},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c, err := e.qpA.PostSend(now, wr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = c.Done
+	}
+}
+
+func BenchmarkPostSendCompSwap(b *testing.B) {
+	e := benchEnv(b)
+	wr := &SendWR{
+		Opcode:     OpCompSwap,
+		SGL:        []SGE{{Addr: e.mrA.Addr(), Length: 8, MR: e.mrA}},
+		RemoteAddr: e.mrB.Addr(),
+		RemoteKey:  e.mrB.RKey(),
+		CompareAdd: 0,
+		Swap:       1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c, err := e.qpA.PostSend(now, wr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = c.Done
+	}
+}
+
+// BenchmarkPostSendReliableRetry drives WRITEs through the reliability
+// engine on a lossy fabric, so segmentation, go-back-N recovery and the
+// timeout machinery are all on the measured path.
+func BenchmarkPostSendReliableRetry(b *testing.B) {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cfg.Faults = &fabric.FaultPlan{Seed: 7, Drop: 0.05}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctxA := NewContext(cl.Machine(0))
+	ctxB := NewContext(cl.Machine(1))
+	qpA, _, err := Connect(ctxA, 1, ctxB, 1, RC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mrA := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	mrB := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+	wr := &SendWR{
+		Opcode:     OpWrite,
+		SGL:        []SGE{{Addr: mrA.Addr(), Length: 8192, MR: mrA}},
+		RemoteAddr: mrB.Addr(),
+		RemoteKey:  mrB.RKey(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c, err := qpA.PostSend(now, wr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = c.Done
+	}
+}
+
+// BenchmarkPostSendWithMetrics measures a WRITE with a telemetry registry
+// attached: the stage-observer bridge and interned histogram lookups are on
+// the measured path.
+func BenchmarkPostSendWithMetrics(b *testing.B) {
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cfg.Telemetry = telemetry.NewRegistry()
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctxA := NewContext(cl.Machine(0))
+	ctxB := NewContext(cl.Machine(1))
+	qpA, _, err := Connect(ctxA, 1, ctxB, 1, RC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mrA := ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	mrB := ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+	wr := &SendWR{
+		Opcode:     OpWrite,
+		SGL:        []SGE{{Addr: mrA.Addr(), Length: 64, MR: mrA}},
+		RemoteAddr: mrB.Addr(),
+		RemoteKey:  mrB.RKey(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c, err := qpA.PostSend(now, wr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = c.Done
 	}
 }

@@ -32,12 +32,24 @@ type stageMetrics struct {
 	prev   sim.Time
 	active bool
 
-	hists map[stageHistKey]*telemetry.Histogram
+	// Histogram streams interned by (opcode, stage): a direct array lookup
+	// on the hot path instead of a map hash per stage crossing. The extra
+	// column past the last pipeline stage holds the per-opcode e2e stream.
+	hists [int(OpSend) + 1][int(StageCompleted) + 2]*telemetry.Histogram
 }
 
-type stageHistKey struct {
-	opcode Opcode
-	stage  string
+// e2eSlot is the hists column of the end-to-end stream, one past the
+// pipeline stages.
+const e2eSlot = int(StageCompleted) + 1
+
+// verbsComponents interns the "verbs/<opcode>" telemetry component names so
+// resolving a stream never concatenates (a test pins them to Opcode.String).
+var verbsComponents = [int(OpSend) + 1]string{
+	OpWrite:    "verbs/WRITE",
+	OpRead:     "verbs/READ",
+	OpCompSwap: "verbs/CMP_SWAP",
+	OpFetchAdd: "verbs/FETCH_ADD",
+	OpSend:     "verbs/SEND",
 }
 
 // newStageMetrics builds the bridge for one QP. Either of reg and tl may be
@@ -49,7 +61,6 @@ func newStageMetrics(reg *telemetry.Registry, tl *telemetry.Timeline, machine st
 		machine: machine,
 		pid:     pid,
 		tid:     int64(qp),
-		hists:   make(map[stageHistKey]*telemetry.Histogram),
 	}
 	if tl != nil {
 		tl.NameThread(m.pid, m.tid, fmt.Sprintf("%s%d %s", kind, qp, machine))
@@ -58,12 +69,12 @@ func newStageMetrics(reg *telemetry.Registry, tl *telemetry.Timeline, machine st
 }
 
 // hist resolves (and caches) the histogram for one (opcode, stage) stream.
-func (m *stageMetrics) hist(op Opcode, stage string) *telemetry.Histogram {
-	k := stageHistKey{op, stage}
-	h := m.hists[k]
+// slot is the stage index, or e2eSlot for the end-to-end stream.
+func (m *stageMetrics) hist(op Opcode, slot int, stage string) *telemetry.Histogram {
+	h := m.hists[op][slot]
 	if h == nil {
-		h = m.reg.Hist(m.machine, "verbs/"+op.String(), stage)
-		m.hists[k] = h
+		h = m.reg.Hist(m.machine, verbsComponents[op], stage)
+		m.hists[op][slot] = h
 	}
 	return h
 }
@@ -89,7 +100,7 @@ func (m *stageMetrics) stage(st Stage, at sim.Time) {
 	}
 	name := st.String()
 	if m.reg != nil {
-		m.hist(m.opcode, name).Observe(at - m.prev)
+		m.hist(m.opcode, int(st), name).Observe(at - m.prev)
 	}
 	if m.tl != nil {
 		m.tl.Record(telemetry.Span{
@@ -114,7 +125,7 @@ func (m *stageMetrics) end(at sim.Time) {
 	}
 	m.stage(StageCompleted, at)
 	if m.reg != nil && at >= m.start {
-		m.hist(m.opcode, "e2e").Observe(at - m.start)
+		m.hist(m.opcode, e2eSlot, "e2e").Observe(at - m.start)
 	}
 	m.active = false
 }

@@ -46,6 +46,79 @@ type qpState struct {
 	state     State         // READY until reliability retries exhaust (or ForceError)
 	policy    RetryPolicy   // reliability knobs; only read on a faulty fabric
 	stats     QPStats       // reliability tally; all zero on a lossless fabric
+	scratch   opScratch     // per-QP freelists for the allocation-free hot path
+}
+
+// opScratch holds the per-QP reusable buffers of the op-pipeline hot path.
+// The simulation kernel is single threaded per cluster, so at most one post
+// is in flight per QP and every buffer is reset (re-sliced to length zero)
+// at the next post. Aliasing contract: slices handed to callers out of this
+// pool — the completions PostSendList returns — stay valid only until the
+// next post on the same QP; callers that retain them must copy.
+type opScratch struct {
+	wrList   [1]*SendWR   // singleton doorbell list (UDQP.Send)
+	sendWR   SendWR       // the datagram WR UDQP.Send rebuilds per send
+	sges     []SGE        // SGL copy backing sendWR, so callers' SGLs stay on their stacks
+	comps    []Completion // completions of the in-flight doorbell list
+	drops    []bool       // UD drop flags, parallel to comps
+	sizes    []int        // per-SGE size vectors for gather/scatter DMA
+	payload  []byte       // staging for apply{Write,Read,Send} data movement
+	segs     []int        // reliability-layer request segmentation
+	respSegs []int        // reliability-layer response segmentation
+}
+
+// sgl returns a reusable length-n SGE slice (contents undefined).
+func (s *opScratch) sgl(n int) []SGE {
+	if cap(s.sges) < n {
+		s.sges = make([]SGE, n)
+	}
+	return s.sges[:n]
+}
+
+// ints returns a reusable length-n int slice (contents undefined).
+func (s *opScratch) ints(n int) []int {
+	if cap(s.sizes) < n {
+		s.sizes = make([]int, n)
+	}
+	return s.sizes[:n]
+}
+
+// bytes returns a reusable byte slice with length 0 and capacity >= n.
+func (s *opScratch) bytes(n int) []byte {
+	if cap(s.payload) < n {
+		s.payload = make([]byte, 0, n)
+	}
+	return s.payload[:0]
+}
+
+// bytesN returns a reusable byte slice of length n (contents undefined).
+func (s *opScratch) bytesN(n int) []byte {
+	if cap(s.payload) < n {
+		s.payload = make([]byte, 0, n)
+	}
+	return s.payload[:n]
+}
+
+// segments returns a reusable length-n int slice for request wire
+// segmentation, distinct from sizes because the reliability engine holds its
+// request segmentation across recovery rounds while DMA size vectors come
+// and go.
+func (s *opScratch) segments(n int) []int {
+	if cap(s.segs) < n {
+		s.segs = make([]int, n)
+	}
+	return s.segs[:n]
+}
+
+// respSegments is the response-leg counterpart of segments: the ACK/response
+// segmentation must not alias the request segmentation, which the requester
+// still holds for possible retransmission rounds (a loopback QP pair would
+// otherwise clobber it).
+func (s *opScratch) respSegments(n int) []int {
+	if cap(s.respSegs) < n {
+		s.respSegs = make([]int, n)
+	}
+	return s.respSegs[:n]
 }
 
 // newQPState initialises the shared queue-pair state, drawing the QP number
@@ -173,15 +246,22 @@ func remoteSpan(wr *SendWR) int {
 // with a StatusFlushed completion and the post returns ErrQPError. A WR
 // whose retries exhaust mid-list completes with its error status and the
 // remainder of the list flushes behind it.
+//
+// The returned slices are backed by src's per-QP scratch pool: they remain
+// valid until the next post on the same QP (see opScratch).
 func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []bool, error) {
 	if src.state == StateError {
-		comps := make([]Completion, 0, len(wrs))
-		var drops []bool
+		comps := src.scratch.comps[:0]
+		drops := src.scratch.drops[:0]
 		for _, wr := range wrs {
 			comps = append(comps, flushWR(src, now, wr))
 			if src.transport == UD {
 				drops = append(drops, false)
 			}
+		}
+		src.scratch.comps, src.scratch.drops = comps, drops
+		if src.transport != UD {
+			drops = nil
 		}
 		return comps, drops, ErrQPError
 	}
@@ -208,10 +288,16 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 		src.observe(StageWQEFetched, t)
 	}
 
-	comps := make([]Completion, 0, len(wrs))
-	var drops []bool
-	if src.transport == UD {
-		drops = make([]bool, 0, len(wrs))
+	comps := src.scratch.comps[:0]
+	drops := src.scratch.drops[:0]
+	// Keep the (possibly grown) backing arrays for the next post; the slice
+	// headers above are re-derived from them after every append below.
+	defer func() {
+		src.scratch.comps = comps[:0]
+		src.scratch.drops = drops[:0]
+	}()
+	if src.transport != UD {
+		drops = nil
 	}
 	for i, wr := range wrs {
 		if i > 0 {
@@ -296,7 +382,7 @@ func executeOne(src, dst *qpState, t sim.Time, wr *SendWR) (Completion, bool, er
 	// payload).
 	needGather := !wr.Inline && (wr.Opcode == OpWrite || wr.Opcode == OpSend)
 	if needGather {
-		sizes := make([]int, len(wr.SGL))
+		sizes := src.scratch.ints(len(wr.SGL))
 		cross := 0
 		for i, s := range wr.SGL {
 			sizes[i] = s.Length
@@ -500,8 +586,9 @@ func respond(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) (sim.Tim
 		}
 		t = rnicDev.GatherDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency) + rp.PCIeReadLatency
 		t = fab.Send(t, dstEP, srcEP, total)
-		// Scatter into local buffers at the requester.
-		sizes := make([]int, len(wr.SGL))
+		// Scatter into local buffers at the requester. READ has no gather
+		// phase, so the requester QP's size-vector scratch is free here.
+		sizes := src.scratch.ints(len(wr.SGL))
 		cross := 0
 		for i, s := range wr.SGL {
 			sizes[i] = s.Length
@@ -547,7 +634,7 @@ func respond(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) (sim.Tim
 			rcross = 1
 		}
 		dmaEnd := rnicDev.ScatterDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency)
-		if err := applySend(wr, recv); err != nil {
+		if err := applySend(dst, wr, recv); err != nil {
 			return 0, 0, err
 		}
 		dst.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
@@ -579,7 +666,7 @@ func deliverDatagram(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) 
 		rcross = 1
 	}
 	dmaEnd := rnicDev.ScatterDMA(rt, []int{total}, rcross, rm.QPI(), rm.Topology().Params.QPILatency)
-	if err := applySend(wr, recv); err != nil {
+	if err := applySend(dst, wr, recv); err != nil {
 		return 0, false, err
 	}
 	dst.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
@@ -587,9 +674,10 @@ func deliverDatagram(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) 
 }
 
 // applyWrite gathers the SGL bytes and stores them contiguously at the
-// remote address.
+// remote address. The staging buffer comes from the responder QP's scratch
+// pool; Space.WriteAt copies out of it before returning.
 func applyWrite(dst *qpState, wr *SendWR) error {
-	buf := make([]byte, 0, wr.TotalLength())
+	buf := dst.scratch.bytes(wr.TotalLength())
 	for _, s := range wr.SGL {
 		b, err := s.MR.region.Slice(s.Addr, s.Length)
 		if err != nil {
@@ -597,12 +685,15 @@ func applyWrite(dst *qpState, wr *SendWR) error {
 		}
 		buf = append(buf, b...)
 	}
-	return dst.ctx.machine.Space().WriteAt(wr.RemoteAddr, buf)
+	err := dst.ctx.machine.Space().WriteAt(wr.RemoteAddr, buf)
+	dst.scratch.payload = buf[:0]
+	return err
 }
 
-// applyRead loads the remote bytes and scatters them into the SGL.
+// applyRead loads the remote bytes and scatters them into the SGL, staging
+// through the responder QP's scratch pool.
 func applyRead(dst *qpState, wr *SendWR) error {
-	buf := make([]byte, wr.TotalLength())
+	buf := dst.scratch.bytesN(wr.TotalLength())
 	if err := dst.ctx.machine.Space().ReadAt(wr.RemoteAddr, buf); err != nil {
 		return err
 	}
@@ -653,9 +744,10 @@ func applyAtomic(dst *qpState, wr *SendWR) (uint64, error) {
 	return old, nil
 }
 
-// applySend copies the gathered payload into the posted receive buffer.
-func applySend(wr *SendWR, recv RecvWR) error {
-	buf := make([]byte, 0, wr.TotalLength())
+// applySend copies the gathered payload into the posted receive buffer,
+// staging through the receiving QP's scratch pool.
+func applySend(dst *qpState, wr *SendWR, recv RecvWR) error {
+	buf := dst.scratch.bytes(wr.TotalLength())
 	for _, s := range wr.SGL {
 		b, err := s.MR.region.Slice(s.Addr, s.Length)
 		if err != nil {
@@ -663,10 +755,10 @@ func applySend(wr *SendWR, recv RecvWR) error {
 		}
 		buf = append(buf, b...)
 	}
-	dst, err := recv.SGE.MR.region.Slice(recv.SGE.Addr, len(buf))
+	rbuf, err := recv.SGE.MR.region.Slice(recv.SGE.Addr, len(buf))
 	if err != nil {
 		return err
 	}
-	copy(dst, buf)
+	copy(rbuf, buf)
 	return nil
 }

@@ -76,6 +76,10 @@ func (q *QP) PostSend(now sim.Time, wr *SendWR) (Completion, error) {
 // prefix with StatusOK, the failing WR with its error status, and the
 // remainder flushed with StatusFlushed. Posting to a QP already in the
 // error state flushes the whole list the same way.
+//
+// Aliasing: the returned slice is backed by this QP's scratch pool and is
+// valid only until the next post on the same QP; callers that retain
+// completions across posts must copy them (see opScratch).
 func (q *QP) PostSendList(now sim.Time, wrs []*SendWR) ([]Completion, error) {
 	if q.peer == nil {
 		return nil, ErrNotConnected

@@ -185,13 +185,22 @@ func TakeRelTelemetry() RelTelemetry {
 
 // segmentSizes splits outbound payload bytes into PathMTU segments. Every
 // message is at least one packet (READ requests and 0-byte ACK-only wires
-// still put a frame on the wire).
-func segmentSizes(outbound int) []int {
-	if outbound <= PathMTU {
-		return []int{outbound}
+// still put a frame on the wire). The result lives in the given QP scratch
+// pool — the request buffer normally, the response buffer when resp is set,
+// because the requester holds its request segmentation across recovery
+// rounds while response legs come and go (and on a loopback pair the two
+// directions share one pool).
+func segmentSizes(scratch *opScratch, outbound int, resp bool) []int {
+	n := 1
+	if outbound > PathMTU {
+		n = (outbound + PathMTU - 1) / PathMTU
 	}
-	n := (outbound + PathMTU - 1) / PathMTU
-	sizes := make([]int, n)
+	var sizes []int
+	if resp {
+		sizes = scratch.respSegments(n)
+	} else {
+		sizes = scratch.segments(n)
+	}
 	for i := 0; i < n-1; i++ {
 		sizes[i] = PathMTU
 	}
@@ -232,7 +241,7 @@ func executeReliable(src, dst *qpState, emit sim.Time, wr *SendWR, total, outbou
 	nic := m.NIC()
 	pol := src.policy
 
-	sizes := segmentSizes(outbound)
+	sizes := segmentSizes(&src.scratch, outbound, false)
 	nseg := len(sizes)
 	// Assign this message's PSN window.
 	src.stats.SendPSN += uint64(nseg)
@@ -398,7 +407,7 @@ func deliverResponse(src, dst *qpState, from sim.Time, wr *SendWR, total int) (s
 		respBytes = 8
 	}
 	t := from
-	for _, size := range segmentSizes(respBytes) {
+	for _, size := range segmentSizes(&src.scratch, respBytes, true) {
 		arr, v := fab.Deliver(t, dstEP, srcEP, size)
 		if v != fabric.Delivered {
 			return arr, false
@@ -406,8 +415,9 @@ func deliverResponse(src, dst *qpState, from sim.Time, wr *SendWR, total int) (s
 		t = arr
 	}
 	if wr.Opcode == OpRead {
-		// Scatter into the local SGL buffers, as on the lossless path.
-		sizes := make([]int, len(wr.SGL))
+		// Scatter into the local SGL buffers, as on the lossless path. READ
+		// has no gather phase, so the requester's size-vector scratch is free.
+		sizes := src.scratch.ints(len(wr.SGL))
 		cross := 0
 		for i, s := range wr.SGL {
 			sizes[i] = s.Length
@@ -508,7 +518,7 @@ func respondReliable(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) 
 			rcross = 1
 		}
 		dmaEnd := rnicDev.ScatterDMA(t, []int{total}, rcross, rm.QPI(), rtp.QPILatency)
-		if err := applySend(wr, recv); err != nil {
+		if err := applySend(dst, wr, recv); err != nil {
 			return 0, 0, false, err
 		}
 		dst.recvCQ.push(CQE{WRID: recv.ID, Opcode: OpSend, Time: dmaEnd + CQECost, Bytes: total})
@@ -529,7 +539,7 @@ func executeUCLossy(src, dst *qpState, emit sim.Time, wr *SendWR, total, outboun
 	srcEP := m.Endpoint(src.port)
 	dstEP := dst.ctx.machine.Endpoint(dst.port)
 
-	sizes := segmentSizes(outbound)
+	sizes := segmentSizes(&src.scratch, outbound, false)
 	src.stats.SendPSN += uint64(len(sizes))
 	arrived := 0
 	prefixBytes := 0
@@ -609,7 +619,7 @@ func applyWritePrefix(dst *qpState, wr *SendWR, n int) error {
 	if n > wr.TotalLength() {
 		n = wr.TotalLength()
 	}
-	buf := make([]byte, 0, n)
+	buf := dst.scratch.bytes(n)
 	for _, s := range wr.SGL {
 		if len(buf) >= n {
 			break

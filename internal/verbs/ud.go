@@ -52,8 +52,13 @@ func (q *UDQP) Send(now sim.Time, dst AH, sgl []SGE, inline bool) (Completion, b
 	if err := q.validate(sgl, inline); err != nil {
 		return Completion{}, false, err
 	}
-	wr := &SendWR{Opcode: OpSend, SGL: sgl, Inline: inline}
-	comps, drops, err := postList(&q.qpState, &dst.QP.qpState, now, []*SendWR{wr})
+	// Build the datagram WR in the QP's scratch pool; copying the SGL keeps
+	// the caller's (often literal, stack-allocated) slice from escaping.
+	wr := &q.scratch.sendWR
+	*wr = SendWR{Opcode: OpSend, SGL: q.scratch.sgl(len(sgl)), Inline: inline}
+	copy(wr.SGL, sgl)
+	q.scratch.wrList[0] = wr
+	comps, drops, err := postList(&q.qpState, &dst.QP.qpState, now, q.scratch.wrList[:])
 	if err != nil {
 		return Completion{}, false, err
 	}

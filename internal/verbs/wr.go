@@ -128,8 +128,31 @@ func (q *CQ) Poll(now sim.Time, max int) []CQE {
 	}
 	out := make([]CQE, n)
 	copy(out, q.entries[:n])
-	q.entries = q.entries[n:]
+	q.dequeue(n)
 	return out
+}
+
+// PollOne removes and returns the oldest entry if its completion time is at
+// or before now. It never allocates, so per-op polling loops (the RPC
+// engines) stay off the heap.
+func (q *CQ) PollOne(now sim.Time) (CQE, bool) {
+	if len(q.entries) == 0 || q.entries[0].Time > now {
+		return CQE{}, false
+	}
+	e := q.entries[0]
+	q.dequeue(1)
+	return e, true
+}
+
+// dequeue drops the first n entries, sliding the remainder down so the
+// backing array is reused instead of leaked (re-slicing forward would force
+// push to grow a fresh array every cycle).
+func (q *CQ) dequeue(n int) {
+	if n <= 0 {
+		return
+	}
+	m := copy(q.entries, q.entries[n:])
+	q.entries = q.entries[:m]
 }
 
 // Len reports the number of pending entries (including future ones).
