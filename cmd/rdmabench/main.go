@@ -13,6 +13,16 @@
 // each experiment's independent sweep points on a worker pool; results
 // (and rendered reports) are identical at any width.
 //
+// -engine-workers N runs the sharded event kernel inside each simulated
+// experiment on up to N host threads: clients whose machine footprints are
+// disjoint form independent shards that dispatch concurrently (see the
+// 'engine' experiment for a workload built of such shards). Output is
+// byte-identical at any worker count; only wall-clock time changes. The two
+// parallelism axes compose: -parallel spreads sweep points over cores,
+// -engine-workers spreads the machines of one big cluster. -timeline forces
+// the engine serial (trace spans carry a global record sequence, so span
+// files are only reproducible under single-threaded dispatch).
+//
 // -faults attaches a seeded lossy-fabric model to every experiment cluster:
 //
 //	rdmabench -exp fig01 -faults seed=1,drop=0.01
@@ -62,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "sweep scale in (0,1]")
 	format := fs.String("format", "text", "output format: text, csv, chart")
 	parallel := fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS)")
+	engineWorkers := fs.Int("engine-workers", 1, "sharded-kernel workers inside each experiment (>= 1)")
 	faults := fs.String("faults", "", "lossy-fabric plan, e.g. seed=1,drop=0.01 (empty = lossless)")
 	metrics := fs.Bool("metrics", false, "print per-experiment telemetry (stage histograms, counters)")
 	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON of every op's stage walk to this file")
@@ -82,8 +93,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rdmabench: unknown -format %q (want text, csv or chart)\n", *format)
 		return 2
 	}
+	if *engineWorkers < 1 {
+		fmt.Fprintf(stderr, "rdmabench: -engine-workers must be >= 1, got %d\n", *engineWorkers)
+		return 2
+	}
 
 	bench.SetParallelism(*parallel)
+	bench.SetEngineWorkers(*engineWorkers)
 
 	lossy := *faults != ""
 	if lossy {

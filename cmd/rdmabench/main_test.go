@@ -23,6 +23,8 @@ func TestFlagValidation(t *testing.T) {
 		{"scale NaN", []string{"-exp", "fig1", "-scale", "NaN"}, "-scale must be in (0,1]"},
 		{"unknown format", []string{"-exp", "fig1", "-format", "yaml"}, `unknown -format "yaml"`},
 		{"bad faults plan", []string{"-exp", "fig1", "-faults", "bogus"}, "rdmabench"},
+		{"zero engine workers", []string{"-exp", "fig1", "-engine-workers", "0"}, "-engine-workers must be >= 1"},
+		{"negative engine workers", []string{"-exp", "fig1", "-engine-workers", "-2"}, "-engine-workers must be >= 1"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -64,6 +66,34 @@ func TestUnknownExperimentExitsOne(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown experiment") {
 		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestEngineWorkersOutputIdentity: the sharded kernel's CLI-level contract —
+// the rendered report is byte-identical whether the engine runs serial or on
+// 4 workers (host-timing progress lines stripped).
+func TestEngineWorkersOutputIdentity(t *testing.T) {
+	render := func(workers string) string {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-exp", "engine", "-scale", "0.02", "-engine-workers", workers}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+		}
+		var lines []string
+		for _, l := range strings.Split(stdout.String(), "\n") {
+			if strings.Contains(l, "completed in") { // wall-clock, legitimately varies
+				continue
+			}
+			lines = append(lines, l)
+		}
+		return strings.Join(lines, "\n")
+	}
+	serial, parallel := render("1"), render("4")
+	if serial != parallel {
+		t.Fatalf("-engine-workers changed rendered output:\nserial:\n%s\nworkers=4:\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "== engine ==") {
+		t.Fatalf("missing engine report:\n%s", serial)
 	}
 }
 

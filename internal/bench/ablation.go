@@ -99,7 +99,7 @@ func QPScale(scale float64) (*Report, error) {
 		if err != nil {
 			return 0, err
 		}
-		var cs []*sim.Client
+		eng, ma, mb := env.engine()
 		for c := 0; c < clients; c++ {
 			qp, _ := verbs.MustConnect(env.ctxA, 1, env.ctxB, 1, verbs.RC)
 			wr := &verbs.SendWR{
@@ -108,7 +108,7 @@ func QPScale(scale float64) (*Report, error) {
 				RemoteAddr: env.mrB.Addr() + mem.Addr(c*64),
 				RemoteKey:  env.mrB.RKey(),
 			}
-			cs = append(cs, &sim.Client{
+			eng.Add(&sim.Client{
 				PostCost: 150,
 				Window:   2,
 				Op: func(post sim.Time) sim.Time {
@@ -118,9 +118,9 @@ func QPScale(scale float64) (*Report, error) {
 					}
 					return comp.Done
 				},
-			})
+			}, ma, mb)
 		}
-		return sim.RunClosedLoop(cs, h).MOPS(), nil
+		return eng.Run(h).MOPS(), nil
 	})
 	if err != nil {
 		return nil, err

@@ -195,7 +195,15 @@ func newPair(remoteBytes int) (*pairEnv, error) {
 }
 
 // measure runs a one-client closed loop over the op and returns the result.
+// One client is one shard, so this stays on the plain single-shard path.
 func measure(op sim.Op, window int, postCost sim.Duration, h sim.Duration) sim.Result {
 	client := &sim.Client{Op: op, PostCost: postCost, Window: window}
 	return sim.RunClosedLoop([]*sim.Client{client}, h)
+}
+
+// engine builds the pair environment's sharded engine; clients added to it
+// run with the machine-0/machine-1 footprint of the one-to-one
+// microbenchmarks.
+func (env *pairEnv) engine() (*cluster.Engine, *cluster.Machine, *cluster.Machine) {
+	return env.cl.NewEngine(EngineWorkers()), env.cl.Machine(0), env.cl.Machine(1)
 }

@@ -27,7 +27,7 @@ func batchThroughput(strategy core.Strategy, size, batch, clients int, h sim.Dur
 	if err != nil {
 		return 0, err
 	}
-	var cs []*sim.Client
+	eng, ma, mb := env.engine()
 	for c := 0; c < clients; c++ {
 		qp := env.qpA
 		if c > 0 {
@@ -46,7 +46,7 @@ func batchThroughput(strategy core.Strategy, size, batch, clients int, h sim.Dur
 			frags[i] = core.Fragment{Addr: env.mrA.Addr() + mem.Addr(off), Length: size}
 		}
 		remote := env.mrB.Addr() + mem.Addr((c*batch*size*2)%(env.mrB.Region().Size()/2))
-		cs = append(cs, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: perEntryCPU*sim.Duration(batch) + 50,
 			Window:   2,
 			Op: func(post sim.Time) sim.Time {
@@ -56,9 +56,9 @@ func batchThroughput(strategy core.Strategy, size, batch, clients int, h sim.Dur
 				}
 				return res.Done
 			},
-		})
+		}, ma, mb)
 	}
-	res := sim.RunClosedLoop(cs, h)
+	res := eng.Run(h)
 	return float64(res.Completed) * float64(batch) / h.Seconds() / 1e6, nil
 }
 

@@ -62,7 +62,7 @@ func remoteLockMOPS(n int, backoff *core.BackoffConfig, h sim.Duration) (float64
 		return 0, err
 	}
 	state := core.NewLockState()
-	var clients []*sim.Client
+	eng := lc.cl.NewEngine(EngineWorkers())
 	for i := 0; i < n; i++ {
 		lock, err := core.NewRemoteLock(state, lc.qps[i],
 			verbs.SGE{Addr: lc.scrs[i].Addr(), Length: 8, MR: lc.scrs[i]},
@@ -70,7 +70,7 @@ func remoteLockMOPS(n int, backoff *core.BackoffConfig, h sim.Duration) (float64
 		if err != nil {
 			return 0, err
 		}
-		clients = append(clients, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 150,
 			Window:   1,
 			Op: func(post sim.Time) sim.Time {
@@ -84,9 +84,9 @@ func remoteLockMOPS(n int, backoff *core.BackoffConfig, h sim.Duration) (float64
 				}
 				return rt
 			},
-		})
+		}, lc.cl.Machine(i+1), lc.cl.Machine(0))
 	}
-	return sim.RunClosedLoop(clients, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // localLockMOPS measures the GCC-builtin local spinlock baseline.
@@ -120,14 +120,14 @@ func rpcLockMOPS(n int, h sim.Duration) (float64, error) {
 		return 0, err
 	}
 	state := core.NewLockState()
-	var clients []*sim.Client
+	eng := lc.cl.NewEngine(EngineWorkers())
 	for i := 0; i < n; i++ {
 		rc, err := srv.NewRPCClient(lc.ctxs[i], 1, 1, lc.scrs[i])
 		if err != nil {
 			return 0, err
 		}
 		lock := core.NewRPCLock(state, rc, i)
-		clients = append(clients, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 150,
 			Window:   1,
 			Op: func(post sim.Time) sim.Time {
@@ -141,9 +141,9 @@ func rpcLockMOPS(n int, h sim.Duration) (float64, error) {
 				}
 				return rt
 			},
-		})
+		}, lc.cl.Machine(i+1), lc.cl.Machine(0))
 	}
-	return sim.RunClosedLoop(clients, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // Fig10aSpinlock reproduces Figure 10(a): local vs remote vs RPC spinlocks
@@ -210,7 +210,7 @@ func remoteSequencerMOPS(n int, h sim.Duration) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var remotes []*sim.Client
+	eng := lc.cl.NewEngine(EngineWorkers())
 	for i := 0; i < n; i++ {
 		seq, err := core.NewRemoteSequencer(lc.qps[i],
 			verbs.SGE{Addr: lc.scrs[i].Addr(), Length: 8, MR: lc.scrs[i]},
@@ -218,7 +218,7 @@ func remoteSequencerMOPS(n int, h sim.Duration) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		remotes = append(remotes, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 150,
 			Window:   4,
 			Op: func(post sim.Time) sim.Time {
@@ -228,9 +228,9 @@ func remoteSequencerMOPS(n int, h sim.Duration) (float64, error) {
 				}
 				return t
 			},
-		})
+		}, lc.cl.Machine(i+1), lc.cl.Machine(0))
 	}
-	return sim.RunClosedLoop(remotes, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // rpcSequencerMOPS: counter behind a server.
@@ -244,14 +244,14 @@ func rpcSequencerMOPS(n int, h sim.Duration) (float64, error) {
 		return 0, err
 	}
 	var counter uint64
-	var rpcs []*sim.Client
+	eng := lc.cl.NewEngine(EngineWorkers())
 	for i := 0; i < n; i++ {
 		rc, err := srv.NewRPCClient(lc.ctxs[i], 1, 1, lc.scrs[i])
 		if err != nil {
 			return 0, err
 		}
 		seq := core.NewRPCSequencer(rc, &counter)
-		rpcs = append(rpcs, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 150,
 			Window:   1,
 			Op: func(post sim.Time) sim.Time {
@@ -261,9 +261,9 @@ func rpcSequencerMOPS(n int, h sim.Duration) (float64, error) {
 				}
 				return t
 			},
-		})
+		}, lc.cl.Machine(i+1), lc.cl.Machine(0))
 	}
-	return sim.RunClosedLoop(rpcs, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // udRPCSequencerMOPS: the datagram-transport RPC sequencer.
@@ -277,14 +277,14 @@ func udRPCSequencerMOPS(n int, h sim.Duration) (float64, error) {
 		return 0, err
 	}
 	var udCounter uint64
-	var uds []*sim.Client
+	eng := lc.cl.NewEngine(EngineWorkers())
 	for i := 0; i < n; i++ {
 		uc, err := udSrv.NewUDRPCClient(lc.ctxs[i], 1, lc.scrs[i])
 		if err != nil {
 			return 0, err
 		}
 		seq := core.NewRPCSequencer(uc, &udCounter)
-		uds = append(uds, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 150,
 			Window:   1,
 			Op: func(post sim.Time) sim.Time {
@@ -294,9 +294,9 @@ func udRPCSequencerMOPS(n int, h sim.Duration) (float64, error) {
 				}
 				return t
 			},
-		})
+		}, lc.cl.Machine(i+1), lc.cl.Machine(0))
 	}
-	return sim.RunClosedLoop(uds, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // Fig10bSequencer reproduces Figure 10(b): local vs remote vs RPC

@@ -43,7 +43,7 @@ func hashtableMOPS(level hashtable.Level, theta, frontEnds int, hotFrac float64,
 		return 0, err
 	}
 	val := make([]byte, 64)
-	var clients []*sim.Client
+	eng := cl.NewEngine(EngineWorkers())
 	for i := 0; i < frontEnds; i++ {
 		// Alternate sockets first so both ports carry traffic from two
 		// front-ends onward, then spread over the seven client machines.
@@ -57,7 +57,7 @@ func hashtableMOPS(level hashtable.Level, theta, frontEnds int, hotFrac float64,
 		if err != nil {
 			return 0, err
 		}
-		clients = append(clients, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 200,
 			Window:   4,
 			Op: func(post sim.Time) sim.Time {
@@ -67,9 +67,9 @@ func hashtableMOPS(level hashtable.Level, theta, frontEnds int, hotFrac float64,
 				}
 				return d
 			},
-		})
+		}, m, cl.Machine(0))
 	}
-	return sim.RunClosedLoop(clients, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // Fig12HashtableBreakdown reproduces Figure 12: throughput over front-end

@@ -26,7 +26,10 @@ func shuffleMOPS(executors, batch int, strategy core.Strategy, numa bool, h sim.
 	if err != nil {
 		return 0, err
 	}
-	var clients []*sim.Client
+	// Every executor scatters to all the others, so each client's footprint
+	// is the whole cluster: the run is a single shard by construction.
+	eng := cl.NewEngine(EngineWorkers())
+	all := cl.Machines()
 	for _, ex := range s.Executors() {
 		ex := ex
 		u, err := workload.NewUniform(1<<30, int64(ex.ID()*7+1))
@@ -34,7 +37,7 @@ func shuffleMOPS(executors, batch int, strategy core.Strategy, numa bool, h sim.
 			return 0, err
 		}
 		st := workload.NewStream(u, cfg.ValueSize)
-		clients = append(clients, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 50,
 			Window:   4,
 			Op: func(post sim.Time) sim.Time {
@@ -44,9 +47,9 @@ func shuffleMOPS(executors, batch int, strategy core.Strategy, numa bool, h sim.
 				}
 				return d
 			},
-		})
+		}, all...)
 	}
-	return sim.RunClosedLoop(clients, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }
 
 // Fig15Shuffle reproduces Figure 15: shuffle throughput over executor count

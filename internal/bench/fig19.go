@@ -25,13 +25,13 @@ func dlogMOPS(engines, batch int, numa bool, h sim.Duration) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var clients []*sim.Client
+	eng := cl.NewEngine(EngineWorkers())
 	for i := 0; i < engines; i++ {
 		e, err := dlog.NewEngine(i, cl.Machine(1+i%7), topo.SocketID((i/7)%2), l)
 		if err != nil {
 			return 0, err
 		}
-		clients = append(clients, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 150,
 			Window:   2,
 			Op: func(post sim.Time) sim.Time {
@@ -41,9 +41,9 @@ func dlogMOPS(engines, batch int, numa bool, h sim.Duration) (float64, error) {
 				}
 				return done
 			},
-		})
+		}, cl.Machine(1+i%7), cl.Machine(0))
 	}
-	res := sim.RunClosedLoop(clients, h)
+	res := eng.Run(h)
 	return float64(res.Completed) * float64(batch) / h.Seconds() / 1e6, nil
 }
 

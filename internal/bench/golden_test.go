@@ -11,6 +11,12 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
 
+// engineWorkersFlag reruns the sweep with a sharded-kernel worker count > 1.
+// The goldens are rendered at the serial default, so passing e.g.
+// -engine-workers 4 (as the race-parity CI job does) asserts the kernel's
+// central claim: worker count changes wall-clock only, never output bytes.
+var engineWorkersFlag = flag.Int("engine-workers", 0, "sharded-kernel worker count for the golden sweep (0 = serial default)")
+
 // goldenScale keeps the full 27-experiment sweep affordable in the test
 // suite while still exercising every driver end to end.
 const goldenScale = 0.02
@@ -28,6 +34,10 @@ const goldenScale = 0.02
 func TestGoldenOutputs(t *testing.T) {
 	if faultPlan != nil {
 		t.Fatal("golden outputs must be rendered on a lossless fabric")
+	}
+	if *engineWorkersFlag > 0 {
+		SetEngineWorkers(*engineWorkersFlag)
+		defer SetEngineWorkers(1)
 	}
 	for _, id := range List() {
 		id := id

@@ -32,6 +32,30 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// engineWidth is the sharded-kernel worker count used inside a single
+// simulated experiment: where -parallel spreads independent sweep points
+// over cores, -engine-workers spreads the machines of one big cluster. The
+// kernel's shard merge is deterministic, so results are byte-identical at
+// any width (the property the golden-parity CI job pins at width 4).
+var engineWidth atomic.Int64
+
+// SetEngineWorkers fixes the sharded-kernel worker count for every engine
+// the drivers build. n < 1 restores the serial default (1).
+func SetEngineWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	engineWidth.Store(int64(n))
+}
+
+// EngineWorkers reports the current sharded-kernel worker count.
+func EngineWorkers() int {
+	if n := int(engineWidth.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // Sweep collects independent measurement points and runs them on the shared
 // worker pool. Closures must be independent: each builds its own cluster
 // and writes only to slots the caller gave it. Wait preserves determinism

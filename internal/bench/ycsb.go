@@ -66,7 +66,7 @@ func ycsbMOPS(level hashtable.Level, readPct int, h sim.Duration) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	var clients []*sim.Client
+	eng := cl.NewEngine(EngineWorkers())
 	for i := 0; i < frontEnds; i++ {
 		m := cl.Machine(1 + (i/2)%7)
 		fe, err := hashtable.NewFrontEnd(i, m, topo.SocketID(i%2), backend)
@@ -80,7 +80,7 @@ func ycsbMOPS(level hashtable.Level, readPct int, h sim.Duration) (float64, erro
 		rng := rand.New(rand.NewSource(int64(50 + i)))
 		val := make([]byte, 64)
 		out := make([]byte, 64)
-		clients = append(clients, &sim.Client{
+		eng.Add(&sim.Client{
 			PostCost: 200,
 			Window:   4,
 			Op: func(post sim.Time) sim.Time {
@@ -97,7 +97,7 @@ func ycsbMOPS(level hashtable.Level, readPct int, h sim.Duration) (float64, erro
 				}
 				return d
 			},
-		})
+		}, m, cl.Machine(0))
 	}
-	return sim.RunClosedLoop(clients, h).MOPS(), nil
+	return eng.Run(h).MOPS(), nil
 }

@@ -1,0 +1,79 @@
+// Engine: the cluster-level face of the sharded event kernel. The cluster
+// owns the machine-to-shard mapping contract — a client's footprint is the
+// set of Machines its ops touch — and derives the conservative lookahead
+// window from its fabric parameters.
+package cluster
+
+import (
+	"fmt"
+
+	"rdmasem/internal/sim"
+)
+
+// Lookahead reports the conservative cross-machine lookahead window: the
+// minimum virtual time between a send posted on one machine and its earliest
+// effect on another. On this fabric a cut-through switch forwards a frame's
+// first byte after cable propagation plus switch latency, before even the
+// frame-overhead bytes have fully serialized, so that sum is the floor. The
+// sharded kernel records it as the bound any sub-machine-group scheduling
+// would have to respect; footprint-closed shards never exchange events, so
+// they trivially respect it at any advance.
+func (c *Cluster) Lookahead() sim.Duration {
+	return c.cfg.Fabric.Propagation + c.cfg.Fabric.SwitchLatency
+}
+
+// Engine drives closed-loop clients over the cluster on the sharded event
+// kernel. Register each client with the machines its Op closure touches
+// (home machine first); the engine unions overlapping footprints into
+// shards — machine groups that only ever interact through each other's
+// fabric endpoints — and runs independent shards on up to the configured
+// number of host workers. Results, telemetry snapshots and reliability
+// counters are byte-identical at any worker count; only wall-clock time
+// changes.
+type Engine struct {
+	cl *Cluster
+	k  *sim.Kernel
+}
+
+// NewEngine returns an engine running shards on up to workers host threads
+// (values below 1 clamp to 1, fully serial). A cluster with a Timeline
+// attached pins the engine to one worker: trace spans carry a global record
+// sequence used as a sort tiebreak, so span files are only reproducible
+// under single-threaded dispatch. Metrics registries need no such pin —
+// counter and histogram updates commute.
+func (c *Cluster) NewEngine(workers int) *Engine {
+	if c.cfg.Timeline != nil {
+		workers = 1
+	}
+	k := sim.NewKernel(workers)
+	k.SetLookahead(c.Lookahead())
+	return &Engine{cl: c, k: k}
+}
+
+// Add registers a client with its machine footprint, home machine first.
+// Every machine must belong to this engine's cluster. A client registered
+// with no machines may touch anything and collapses the run into a single
+// shard (the conservative default, equivalent to sim.RunClosedLoop).
+func (e *Engine) Add(c *sim.Client, on ...*Machine) {
+	ids := make([]int, len(on))
+	for i, m := range on {
+		if m == nil {
+			panic("cluster: nil machine in client footprint")
+		}
+		if m.id < 0 || m.id >= len(e.cl.machines) || e.cl.machines[m.id] != m {
+			panic(fmt.Sprintf("cluster: machine %d is not part of this engine's cluster", m.id))
+		}
+		ids[i] = m.id
+	}
+	e.k.Add(c, ids...)
+}
+
+// Workers reports the effective worker count (after any Timeline pin).
+func (e *Engine) Workers() int { return e.k.Workers() }
+
+// Lookahead reports the kernel's recorded cross-machine lookahead window.
+func (e *Engine) Lookahead() sim.Duration { return e.k.Lookahead() }
+
+// Run drives all registered clients to the horizon. Semantics are exactly
+// sim.RunClosedLoop's; see sim.Kernel for the shard partition.
+func (e *Engine) Run(horizon sim.Time) sim.Result { return e.k.Run(horizon) }

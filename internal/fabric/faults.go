@@ -215,26 +215,28 @@ func (f *Fabric) Deliver(now sim.Time, from, to *Endpoint, payload int) (sim.Tim
 	}
 	from.faultSeq++
 	verdict, extra := plan.fate(from.id, from.faultSeq)
-	f.faultStats.Segments++
+	from.faults.Segments++
 	telemetry.segments.Add(1)
 	wire := payload + f.params.FrameOverhead
 	txStart, _ := from.tx.Transfer(now, wire)
 	arrival := txStart + f.params.Propagation + f.params.SwitchLatency
 	switch verdict {
 	case Dropped:
-		f.faultStats.Drops++
+		// Lost inside the switch: nothing merges into the destination inbox.
+		from.faults.Drops++
 		telemetry.drops.Add(1)
 		return arrival, Dropped
 	case Corrupted:
-		f.faultStats.Corrupts++
+		from.faults.Corrupts++
 		telemetry.corrupts.Add(1)
 	default:
 		if extra > 0 {
-			f.faultStats.Delays++
+			from.faults.Delays++
 			telemetry.delays.Add(1)
 			arrival += extra
 		}
 	}
+	to.inbox.merge(arrival, from.id)
 	_, rxEnd := to.rx.Transfer(arrival, wire)
 	return rxEnd, verdict
 }
@@ -242,8 +244,25 @@ func (f *Fabric) Deliver(now sim.Time, from, to *Endpoint, payload int) (sim.Tim
 // FaultsEnabled reports whether a fault plan is attached to this fabric.
 func (f *Fabric) FaultsEnabled() bool { return f.params.Faults != nil }
 
-// FaultStats returns the fault model's per-fabric tallies.
-func (f *Fabric) FaultStats() FaultStats { return f.faultStats }
+// FaultStats returns the fault model's fabric-wide tallies: the sum of every
+// endpoint's per-link share. Tallies live on the sending endpoint (never on
+// the shared Fabric), so kernel shards owning disjoint machines count faults
+// without sharing a mutable word; the sum is commutative and therefore
+// identical at any worker count.
+func (f *Fabric) FaultStats() FaultStats {
+	var s FaultStats
+	for _, e := range f.endpoints {
+		s.Segments += e.faults.Segments
+		s.Drops += e.faults.Drops
+		s.Corrupts += e.faults.Corrupts
+		s.Delays += e.faults.Delays
+	}
+	return s
+}
+
+// FaultStats returns this endpoint's share of the fabric fault tallies
+// (faults drawn on segments this port sent).
+func (e *Endpoint) FaultStats() FaultStats { return e.faults }
 
 // telemetry is cross-fabric, process-wide fault accounting for CLI
 // reporting. It is monotonic and atomic: it never feeds back into the

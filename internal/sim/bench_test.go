@@ -32,11 +32,33 @@ func BenchmarkPipeTransfer(b *testing.B) {
 }
 
 func BenchmarkClosedLoop(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := NewResource("eu")
 		clients := []*Client{
 			{Op: func(t Time) Time { return r.Delay(t, 200) }, PostCost: 100, Window: 8},
 			{Op: func(t Time) Time { return r.Delay(t, 200) }, PostCost: 100, Window: 8},
+		}
+		RunClosedLoop(clients, Millisecond)
+	}
+}
+
+// BenchmarkKernelDispatch isolates pure scheduler cost: 16 clients with
+// constant-latency ops (no shared resources), so every nanosecond and every
+// allocation is queue bookkeeping — the completion window and the ready-client
+// merge — not model work. This is the number that shows the container/heap
+// interface boxing (one heap allocation per posted op) and its removal.
+func BenchmarkKernelDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clients := make([]*Client, 16)
+		for c := range clients {
+			lat := Duration(1500 + 100*c)
+			clients[c] = &Client{
+				Op:       func(t Time) Time { return t + lat },
+				PostCost: 100,
+				Window:   8,
+			}
 		}
 		RunClosedLoop(clients, Millisecond)
 	}

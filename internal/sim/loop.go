@@ -1,11 +1,5 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-	"sort"
-)
-
 // Op performs one logical operation posted at the given virtual time and
 // returns the operation's completion time. An Op typically walks the posted
 // request through a series of Resources and Pipes. Completion must not
@@ -26,7 +20,7 @@ type Client struct {
 
 	// state
 	nextPost    Time
-	outstanding completionHeap
+	outstanding timeHeap
 	posted      int64
 	completed   int64 // completions observed within the horizon
 	latencySum  Duration
@@ -119,21 +113,6 @@ func (r Result) TotalCPUBusy() Duration {
 	return sum
 }
 
-// completionHeap is a min-heap of completion times.
-type completionHeap []Time
-
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(Time)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // nextAction reports when the client can next issue an operation.
 func (c *Client) nextAction() Time {
 	if len(c.outstanding) < c.Window {
@@ -142,123 +121,22 @@ func (c *Client) nextAction() Time {
 	return Max(c.nextPost, c.outstanding[0])
 }
 
-// clientHeap orders clients by next action time; ties break by index for
-// determinism.
-type clientHeap struct {
-	clients []*Client
-	index   []int
-}
-
-func (h clientHeap) Len() int { return len(h.clients) }
-func (h clientHeap) Less(i, j int) bool {
-	ai, aj := h.clients[i].nextAction(), h.clients[j].nextAction()
-	if ai != aj {
-		return ai < aj
-	}
-	return h.index[i] < h.index[j]
-}
-func (h clientHeap) Swap(i, j int) {
-	h.clients[i], h.clients[j] = h.clients[j], h.clients[i]
-	h.index[i], h.index[j] = h.index[j], h.index[i]
-}
-func (h *clientHeap) Push(x interface{}) { panic("unused") }
-func (h *clientHeap) Pop() interface{}   { panic("unused") }
-
 // RunClosedLoop drives the clients in global virtual-time order until the
 // horizon. Operations posted before the horizon run to completion, but only
 // completions at or before the horizon are counted, so Result.Throughput is a
 // steady-state estimate. The clients' Op closures may share state freely:
 // dispatch is strictly sequential in time order.
+//
+// RunClosedLoop is the single-shard configuration of the sharded Kernel —
+// every client registered with no footprint, so nothing runs concurrently.
+// Clients whose ops are confined to declared machine footprints can run
+// through a Kernel (or cluster.Engine) instead and use multiple cores.
 func RunClosedLoop(clients []*Client, horizon Time) Result {
-	if horizon <= 0 {
-		panic("sim: horizon must be positive")
+	k := NewKernel(1)
+	for _, c := range clients {
+		k.Add(c)
 	}
-	active := make([]*Client, 0, len(clients))
-	for i, c := range clients {
-		if c.Window < 1 {
-			panic(fmt.Sprintf("sim: client %d window must be >= 1", i))
-		}
-		if c.PostCost <= 0 {
-			panic(fmt.Sprintf("sim: client %d post cost must be > 0", i))
-		}
-		c.nextPost = 0
-		c.outstanding = c.outstanding[:0]
-		c.posted, c.completed = 0, 0
-		c.latencySum, c.latencyMax = 0, 0
-		c.latencyMin = MaxTime
-		c.latencies = nil
-		c.cpuBusy = 0
-		active = append(active, c)
-	}
-	h := &clientHeap{clients: active, index: make([]int, len(active))}
-	for i := range h.index {
-		h.index[i] = i
-	}
-	heap.Init(h)
-
-	for h.Len() > 0 {
-		c := h.clients[0]
-		t := c.nextAction()
-		if t >= horizon || (c.MaxOps > 0 && c.posted >= c.MaxOps) {
-			// Remove the root.
-			last := h.Len() - 1
-			h.Swap(0, last)
-			h.clients = h.clients[:last]
-			h.index = h.index[:last]
-			if h.Len() > 0 {
-				heap.Fix(h, 0)
-			}
-			continue
-		}
-		// Retire anything that has already completed by t.
-		for len(c.outstanding) > 0 && c.outstanding[0] <= t {
-			heap.Pop(&c.outstanding)
-		}
-		complete := c.Op(t)
-		if complete < t {
-			panic("sim: op completed before it was posted")
-		}
-		c.posted++
-		if complete <= horizon {
-			c.completed++
-			lat := complete - t
-			c.latencySum += lat
-			if lat > c.latencyMax {
-				c.latencyMax = lat
-			}
-			if lat < c.latencyMin {
-				c.latencyMin = lat
-			}
-			if c.RecordLatencies {
-				c.latencies = append(c.latencies, lat)
-			}
-		}
-		heap.Push(&c.outstanding, complete)
-		c.nextPost = t + c.PostCost
-		c.cpuBusy += c.PostCost
-		heap.Fix(h, 0)
-	}
-
-	res := Result{Horizon: horizon, Clients: make([]ClientStats, len(clients))}
-	for i, c := range clients {
-		s := ClientStats{
-			Posted:     c.posted,
-			Completed:  c.completed,
-			LatencyMax: c.latencyMax,
-			CPUBusy:    c.cpuBusy,
-		}
-		if c.completed > 0 {
-			s.LatencyAvg = c.latencySum / Duration(c.completed)
-			s.LatencyMin = c.latencyMin
-		}
-		if c.RecordLatencies {
-			sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
-			s.Latencies = c.latencies
-		}
-		res.Clients[i] = s
-		res.Completed += c.completed
-	}
-	return res
+	return k.Run(horizon)
 }
 
 // RunOnce runs a single synchronous operation sequence: it executes op at

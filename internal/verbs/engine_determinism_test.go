@@ -1,0 +1,149 @@
+package verbs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/fabric"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/rnic"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/telemetry"
+)
+
+// engineObservation is everything a run exposes: the closed-loop result
+// (with full latency records), the rendered telemetry snapshot, per-NIC
+// stage and reliability counters, the fabric fault tallies, and every
+// endpoint's inbox witness (delivery count + merge-order hash).
+type engineObservation struct {
+	res        sim.Result
+	metrics    string
+	nics       []rnic.StageCounters
+	faults     fabric.FaultStats
+	deliveries []uint64
+	hashes     []uint64
+}
+
+// runEngineWorkload builds a fresh 4-pair cluster under a seeded lossy fabric
+// with telemetry attached, drives mixed RC WRITE/READ traffic over each pair
+// on the sharded engine at the given worker count, and returns the full
+// observation.
+func runEngineWorkload(t *testing.T, workers int) engineObservation {
+	t.Helper()
+	const pairs = 4
+	reg := telemetry.NewRegistry()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2 * pairs
+	cfg.Faults = &fabric.FaultPlan{Seed: 5, Drop: 0.01, Corrupt: 0.005, DelayP: 0.02, Delay: 2000}
+	cfg.Telemetry = reg
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := cl.NewEngine(workers)
+	for p := 0; p < pairs; p++ {
+		ma, mb := cl.Machine(2*p), cl.Machine(2*p+1)
+		ctxA, ctxB := NewContext(ma), NewContext(mb)
+		qp, _, err := Connect(ctxA, 1, ctxB, 1, RC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrA := ctxA.MustRegisterMR(ma.MustAlloc(1, 1<<20, 0))
+		mrB := ctxB.MustRegisterMR(mb.MustAlloc(1, 1<<20, 0))
+		p := p
+		write := &SendWR{
+			Opcode:     OpWrite,
+			SGL:        []SGE{{Addr: mrA.Addr(), Length: 256, MR: mrA}},
+			RemoteAddr: mrB.Addr() + mem.Addr(p*4096),
+			RemoteKey:  mrB.RKey(),
+		}
+		read := &SendWR{
+			Opcode:     OpRead,
+			SGL:        []SGE{{Addr: mrA.Addr() + 4096, Length: 128, MR: mrA}},
+			RemoteAddr: mrB.Addr() + mem.Addr(p*4096+2048),
+			RemoteKey:  mrB.RKey(),
+		}
+		eng.Add(&sim.Client{
+			PostCost: 200, Window: 2, RecordLatencies: true,
+			Op: func(post sim.Time) sim.Time {
+				c, err := qp.PostSend(post, write)
+				if err != nil {
+					panic(err)
+				}
+				return c.Done
+			},
+		}, ma, mb)
+		eng.Add(&sim.Client{
+			PostCost: 300, Window: 1,
+			Op: func(post sim.Time) sim.Time {
+				c, err := qp.PostSend(post, read)
+				if err != nil {
+					panic(err)
+				}
+				return c.Done
+			},
+		}, ma, mb)
+	}
+	obs := engineObservation{res: eng.Run(500 * sim.Microsecond)}
+	cl.FoldTelemetry()
+	var buf bytes.Buffer
+	reg.Take().Render(&buf)
+	obs.metrics = buf.String()
+	for i := 0; i < cl.Size(); i++ {
+		obs.nics = append(obs.nics, cl.Machine(i).NIC().Counters())
+	}
+	obs.faults = cl.Fabric().FaultStats()
+	for _, e := range cl.Fabric().Endpoints() {
+		obs.deliveries = append(obs.deliveries, e.Deliveries())
+		obs.hashes = append(obs.hashes, e.MergeHash())
+	}
+	return obs
+}
+
+// TestEngineWorkerCountDeterminism is the cross-layer determinism property
+// the sharded kernel promises: on a lossy fabric with telemetry attached,
+// every observable — closed-loop results with latency records, telemetry
+// snapshots, NIC stage and reliability counters, fault tallies and every
+// endpoint's fabric-boundary merge witness — is identical at workers
+// 1, 2, 4 and 8.
+func TestEngineWorkerCountDeterminism(t *testing.T) {
+	want := runEngineWorkload(t, 1)
+	if want.res.Completed == 0 {
+		t.Fatal("no ops completed")
+	}
+	if want.faults.Segments == 0 || want.faults.Drops == 0 {
+		t.Fatalf("fault plan inactive (%+v); the property must hold under loss", want.faults)
+	}
+	if want.metrics == "" {
+		t.Fatal("telemetry snapshot is empty")
+	}
+	anyRetrans := false
+	for _, n := range want.nics {
+		if n.Rel.Retransmits > 0 {
+			anyRetrans = true
+		}
+	}
+	if !anyRetrans {
+		t.Fatal("no retransmissions: reliability layer not exercised")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runEngineWorkload(t, workers)
+		if !reflect.DeepEqual(want.res, got.res) {
+			t.Fatalf("workers=%d: results diverged", workers)
+		}
+		if want.metrics != got.metrics {
+			t.Fatalf("workers=%d: telemetry snapshots diverged", workers)
+		}
+		if !reflect.DeepEqual(want.nics, got.nics) {
+			t.Fatalf("workers=%d: NIC counters diverged", workers)
+		}
+		if want.faults != got.faults {
+			t.Fatalf("workers=%d: fault stats diverged: %+v vs %+v", workers, want.faults, got.faults)
+		}
+		if !reflect.DeepEqual(want.deliveries, got.deliveries) || !reflect.DeepEqual(want.hashes, got.hashes) {
+			t.Fatalf("workers=%d: fabric merge witnesses diverged", workers)
+		}
+	}
+}

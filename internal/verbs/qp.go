@@ -3,6 +3,7 @@ package verbs
 import (
 	"fmt"
 
+	"rdmasem/internal/cluster"
 	"rdmasem/internal/sim"
 )
 
@@ -43,6 +44,16 @@ func MustConnect(a *Context, portA int, b *Context, portB int, t Transport) (*QP
 
 // Peer returns the connected remote QP.
 func (q *QP) Peer() *QP { return q.peer }
+
+// Machines returns the two hosts this QP's ops touch: the local (posting)
+// machine first, then the connected peer's. A connected QP's op closures are
+// shard-local by construction — per-QP state (pipeline, CQs, scratch, PSNs)
+// lives on the two endpoints, and the only cross-machine path is the fabric
+// between them — so handing exactly these machines to cluster.Engine.Add is
+// a complete footprint for a client driving this QP.
+func (q *QP) Machines() (local, remote *cluster.Machine) {
+	return q.ctx.Machine(), q.peer.ctx.Machine()
+}
 
 // PostSend posts one work request at the given virtual time and returns its
 // completion. Equivalent to a one-entry PostSendList. When the QP fails (the
