@@ -43,6 +43,10 @@
 //
 // Both are observers: with neither flag the simulation takes the exact same
 // code path and produces byte-identical output.
+//
+// -conn-modes and -qp-pool parameterize the qpsweep connection-serving
+// comparison: which serving strategies to sweep (per-conn, srq, pool,
+// proxy) and how many physical QPs the pool/proxy modes share.
 package main
 
 import (
@@ -51,6 +55,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"rdmasem/internal/bench"
@@ -74,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS)")
 	engineWorkers := fs.Int("engine-workers", 1, "sharded-kernel workers inside each experiment (>= 1)")
 	faults := fs.String("faults", "", "lossy-fabric plan, e.g. seed=1,drop=0.01 (empty = lossless)")
+	connModes := fs.String("conn-modes", "", "comma-separated qpsweep serving modes (per-conn,srq,pool,proxy); empty = all")
+	qpPool := fs.Int("qp-pool", 0, "physical-QP pool width of qpsweep's pool/proxy modes (0 = default 64)")
 	metrics := fs.Bool("metrics", false, "print per-experiment telemetry (stage histograms, counters)")
 	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON of every op's stage walk to this file")
 	list := fs.Bool("list", false, "list experiment ids")
@@ -96,6 +103,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *engineWorkers < 1 {
 		fmt.Fprintf(stderr, "rdmabench: -engine-workers must be >= 1, got %d\n", *engineWorkers)
 		return 2
+	}
+
+	if *connModes != "" {
+		if err := bench.SetConnModes(strings.Split(*connModes, ",")); err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
+		}
+	}
+	if *qpPool != 0 {
+		if err := bench.SetQPPool(*qpPool); err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
+		}
 	}
 
 	bench.SetParallelism(*parallel)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rdmasem/internal/bench"
 )
 
 // TestFlagValidation covers the bad-flag paths: every invalid combination
@@ -25,6 +27,8 @@ func TestFlagValidation(t *testing.T) {
 		{"bad faults plan", []string{"-exp", "fig1", "-faults", "bogus"}, "rdmabench"},
 		{"zero engine workers", []string{"-exp", "fig1", "-engine-workers", "0"}, "-engine-workers must be >= 1"},
 		{"negative engine workers", []string{"-exp", "fig1", "-engine-workers", "-2"}, "-engine-workers must be >= 1"},
+		{"unknown conn mode", []string{"-exp", "qpsweep", "-conn-modes", "per-conn,bogus"}, `unknown connection mode "bogus"`},
+		{"negative qp pool", []string{"-exp", "qpsweep", "-qp-pool", "-8"}, "QP pool must be at least 1"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -94,6 +98,34 @@ func TestEngineWorkersOutputIdentity(t *testing.T) {
 	}
 	if !strings.Contains(serial, "== engine ==") {
 		t.Fatalf("missing engine report:\n%s", serial)
+	}
+}
+
+// TestConnModesSmoke runs qpsweep restricted to the shared-QP modes with a
+// narrow pool: the report must carry only the requested lines, and the
+// package knobs must not leak into later tests.
+func TestConnModesSmoke(t *testing.T) {
+	t.Cleanup(func() {
+		if err := bench.SetConnModes(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := bench.SetQPPool(64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "qpsweep", "-scale", "0.02", "-conn-modes", "pool,proxy", "-qp-pool", "8"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== qpsweep ==", "pool", "proxy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "per-conn") || strings.Contains(out, "srq") {
+		t.Fatalf("-conn-modes pool,proxy leaked excluded modes into output:\n%s", out)
 	}
 }
 

@@ -299,6 +299,57 @@ func TestQPScaleShape(t *testing.T) {
 	}
 }
 
+func TestQPSweepShape(t *testing.T) {
+	r := mustRun(t, "qpsweep", 0.02)
+	counts := []float64{100, 1000, 5000, 10000, 20000}
+	// Per-connection QP-context hit rate is monotone non-increasing once the
+	// connection count passes the 8192-entry cache; past the cliff it is
+	// near zero (epsilon absorbs the handful of residual warm hits).
+	const eps = 0.02
+	prev := yAt(t, r, 1, "per-conn", counts[0])
+	for _, x := range counts[1:] {
+		cur := yAt(t, r, 1, "per-conn", x)
+		if cur > prev+eps {
+			t.Errorf("per-conn hit rate rose %v -> %v at %v connections", prev, cur, x)
+		}
+		prev = cur
+	}
+	if cliff := yAt(t, r, 1, "per-conn", 20000); cliff > 0.1 {
+		t.Errorf("per-conn hit rate at 20k = %.2f, want near zero (context thrash)", cliff)
+	}
+	if pool := yAt(t, r, 1, "pool", 20000); pool < 0.9 {
+		t.Errorf("pool hit rate at 20k = %.2f, want near one (bounded working set)", pool)
+	}
+	// The throughput cliff: per-conn falls off past the cache, the shared
+	// pool dominates everywhere beyond it and recovers >= 2x at the top.
+	below := yAt(t, r, 0, "per-conn", 5000)
+	at20k := yAt(t, r, 0, "per-conn", 20000)
+	if at20k > below*0.6 {
+		t.Errorf("per-conn should cliff past 10k connections: %v -> %v", below, at20k)
+	}
+	for _, x := range []float64{10000, 20000} {
+		pc := yAt(t, r, 0, "per-conn", x)
+		pool := yAt(t, r, 0, "pool", x)
+		if pool <= pc {
+			t.Errorf("at %v connections pool (%v) must dominate per-conn (%v)", x, pool, pc)
+		}
+	}
+	if rec := yAt(t, r, 0, "pool", 20000) / yAt(t, r, 0, "per-conn", 20000); rec < 2 {
+		t.Errorf("pool recovery at 20k = %.2fx, want >= 2x", rec)
+	}
+	if rec := yAt(t, r, 0, "proxy", 20000) / yAt(t, r, 0, "per-conn", 20000); rec < 2 {
+		t.Errorf("proxy recovery at 20k = %.2fx, want >= 2x", rec)
+	}
+	// An SRQ pools buffers, not contexts: its curve tracks per-conn.
+	for _, x := range counts {
+		srq := yAt(t, r, 0, "srq", x)
+		pc := yAt(t, r, 0, "per-conn", x)
+		if srq < pc*0.9 || srq > pc*1.1 {
+			t.Errorf("at %v connections srq (%v) should track per-conn (%v)", x, srq, pc)
+		}
+	}
+}
+
 func TestYCSBShape(t *testing.T) {
 	r := mustRun(t, "ycsb", 0.1)
 	// Consolidation leads at every read fraction; plain NUMA declines as

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rdmasem/internal/mem"
+	"rdmasem/internal/proxy"
 	"rdmasem/internal/sim"
 	"rdmasem/internal/topo"
 	"rdmasem/internal/verbs"
@@ -58,7 +59,8 @@ type Engine struct {
 
 // maxProxyPayload bounds the payload that rides the proxy's shared-memory
 // message; larger requests gather from their original socket across QPI.
-const maxProxyPayload = 1024
+// The per-node daemon (internal/proxy) shares the bound.
+const maxProxyPayload = proxy.MaxPayload
 
 // NewEngine connects the local context to every peer according to the mode.
 func NewEngine(local *verbs.Context, peers []*verbs.Context, mode Mode) (*Engine, error) {
@@ -72,8 +74,9 @@ func NewEngine(local *verbs.Context, peers []*verbs.Context, mode Mode) (*Engine
 		mode:  mode,
 		qps:   make(map[int]map[topo.SocketID]map[topo.SocketID]*verbs.QP),
 		// One request push and one result pull through shared-memory
-		// queues: two cache-line transfers across QPI.
-		proxyIPC: 2 * (tp.AtomicBounce + tp.QPILatency),
+		// queues: two cache-line transfers across QPI. Same hop the
+		// per-node daemon charges (internal/proxy).
+		proxyIPC: proxy.HopCost(tp),
 	}
 	sockets := local.Machine().Topology().Sockets()
 	if mode == Matched {

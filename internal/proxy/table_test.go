@@ -1,0 +1,247 @@
+package proxy_test
+
+import (
+	"errors"
+	"testing"
+
+	"rdmasem/internal/cluster"
+	"rdmasem/internal/mem"
+	"rdmasem/internal/proxy"
+	"rdmasem/internal/sim"
+	"rdmasem/internal/verbs"
+)
+
+// tableEnv is a two-machine cluster with a pool of RC QPs behind a
+// connection table, an SRQ draining the server side, and slab MRs at both
+// ends.
+type tableEnv struct {
+	cl         *cluster.Cluster
+	ctxA, ctxB *verbs.Context
+	pool       []*verbs.QP
+	srq        *verbs.SRQ
+	table      *proxy.Table
+	mrA, mrB   *verbs.MR
+}
+
+func newTableEnv(t *testing.T, poolSize, conns int) *tableEnv {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &tableEnv{
+		cl:   cl,
+		ctxA: verbs.NewContext(cl.Machine(0)),
+		ctxB: verbs.NewContext(cl.Machine(1)),
+	}
+	e.srq = verbs.NewSRQ(e.ctxB)
+	e.pool = make([]*verbs.QP, poolSize)
+	for i := range e.pool {
+		qp, peer := verbs.MustConnect(e.ctxA, 1, e.ctxB, 1, verbs.RC)
+		if err := peer.AttachSRQ(e.srq); err != nil {
+			t.Fatal(err)
+		}
+		e.pool[i] = qp
+	}
+	e.table, err = proxy.NewTable(e.pool, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mrA = e.ctxA.MustRegisterMR(cl.Machine(0).MustAlloc(1, 1<<20, 0))
+	e.mrB = e.ctxB.MustRegisterMR(cl.Machine(1).MustAlloc(1, 1<<20, 0))
+	return e
+}
+
+// stock posts n receive buffers to the SRQ.
+func (e *tableEnv) stock(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := e.srq.PostRecv(verbs.RecvWR{ID: uint64(i), SGE: verbs.SGE{
+			Addr: e.mrB.Addr() + mem.Addr(i*256), Length: 256, MR: e.mrB,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (e *tableEnv) sendWR(id uint64, size int) *verbs.SendWR {
+	return &verbs.SendWR{
+		ID:     id,
+		Opcode: verbs.OpSend,
+		SGL:    []verbs.SGE{{Addr: e.mrA.Addr(), Length: size, MR: e.mrA}},
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	e := newTableEnv(t, 2, 4)
+	if _, err := proxy.NewTable(nil, 4); err == nil {
+		t.Fatal("empty pool must be rejected")
+	}
+	if _, err := proxy.NewTable(e.pool, 0); err == nil {
+		t.Fatal("zero connections must be rejected")
+	}
+	// A pool spanning two different machine pairs is not one per-node table.
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 3
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx0, ctx1, ctx2 := verbs.NewContext(cl.Machine(0)), verbs.NewContext(cl.Machine(1)), verbs.NewContext(cl.Machine(2))
+	qp01, _ := verbs.MustConnect(ctx0, 1, ctx1, 1, verbs.RC)
+	qp02, _ := verbs.MustConnect(ctx0, 1, ctx2, 1, verbs.RC)
+	if _, err := proxy.NewTable([]*verbs.QP{qp01, qp02}, 4); err == nil {
+		t.Fatal("mixed-peer pool must be rejected")
+	}
+}
+
+// TestTableDemuxRestoresIDs: completions come back on the posting
+// connection with the caller's WR ID, and the WR itself is left untouched.
+func TestTableDemuxRestoresIDs(t *testing.T) {
+	e := newTableEnv(t, 2, 6)
+	e.stock(t, 12)
+	now := sim.Time(0)
+	for conn := 0; conn < 6; conn++ {
+		wr := e.sendWR(uint64(1000+conn), 64)
+		del, err := e.table.Post(now, conn, wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if del.Conn != conn {
+			t.Fatalf("delivery for conn %d, want %d", del.Conn, conn)
+		}
+		if del.Completion.WRID != uint64(1000+conn) {
+			t.Fatalf("WRID %d, want %d", del.Completion.WRID, 1000+conn)
+		}
+		if wr.ID != uint64(1000+conn) {
+			t.Fatalf("caller's WR ID mutated to %d", wr.ID)
+		}
+		if del.Completion.Status != verbs.StatusOK {
+			t.Fatalf("status %v", del.Completion.Status)
+		}
+		now = del.Completion.Done
+	}
+	st := e.table.Stats()
+	if st.Posted != 6 || st.Delivered != 6 || st.Flushed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Static mapping: conn c posts on pool[c%2].
+	if e.table.ConnQP(0) != e.pool[0] || e.table.ConnQP(3) != e.pool[1] {
+		t.Fatal("conn->pool mapping is not the static modulo")
+	}
+	if err := func() error {
+		_, err := e.table.Post(now, 6, e.sendWR(1, 64))
+		return err
+	}(); err == nil {
+		t.Fatal("out-of-range conn must be rejected")
+	}
+}
+
+// TestPooledQPErrorFlushesOwnConnsOnly is the blast-radius property: a
+// pooled QP in the error state flushes exactly its own connections'
+// outstanding WRs with StatusFlushed; connections mapped to healthy pooled
+// QPs complete normally in the same batch.
+func TestPooledQPErrorFlushesOwnConnsOnly(t *testing.T) {
+	e := newTableEnv(t, 2, 4)
+	e.stock(t, 8)
+	e.pool[0].ForceError()
+	wrs := make([]*verbs.SendWR, 4)
+	posts := make([]proxy.ConnWR, 4)
+	for conn := 0; conn < 4; conn++ {
+		wrs[conn] = e.sendWR(uint64(500+conn), 64)
+		posts[conn] = proxy.ConnWR{Conn: conn, WR: wrs[conn]}
+	}
+	dels, err := e.table.PostBatch(0, posts)
+	if !errors.Is(err, verbs.ErrQPError) {
+		t.Fatalf("err=%v, want ErrQPError", err)
+	}
+	if len(dels) != 4 {
+		t.Fatalf("%d deliveries, want 4", len(dels))
+	}
+	byConn := map[int]verbs.Completion{}
+	for _, d := range dels {
+		byConn[d.Conn] = d.Completion
+	}
+	for _, conn := range []int{0, 2} { // mapped to the dead pool[0]
+		if c := byConn[conn]; c.Status != verbs.StatusFlushed || c.WRID != uint64(500+conn) {
+			t.Fatalf("conn %d completion %+v, want StatusFlushed with its own WRID", conn, c)
+		}
+	}
+	for _, conn := range []int{1, 3} { // mapped to the healthy pool[1]
+		if c := byConn[conn]; c.Status != verbs.StatusOK || c.WRID != uint64(500+conn) {
+			t.Fatalf("conn %d completion %+v, want StatusOK with its own WRID", conn, c)
+		}
+	}
+	st := e.table.Stats()
+	if st.Posted != 4 || st.Delivered != 4 || st.Flushed != 2 {
+		t.Fatalf("stats %+v, want 4 posted / 4 delivered / 2 flushed", st)
+	}
+	// The single-post path reports the same split.
+	delDead, err := e.table.Post(0, 2, e.sendWR(7, 64))
+	if !errors.Is(err, verbs.ErrQPError) || delDead.Completion.Status != verbs.StatusFlushed {
+		t.Fatalf("dead-conn post: del=%+v err=%v", delDead, err)
+	}
+	delLive, err := e.table.Post(0, 3, e.sendWR(8, 64))
+	if err != nil || delLive.Completion.Status != verbs.StatusOK {
+		t.Fatalf("live-conn post: del=%+v err=%v", delLive, err)
+	}
+}
+
+// TestPostBatchRejectsDuplicateWR: one *SendWR per batch entry, like one
+// WQE per doorbell slot — aliasing would corrupt the tag demux.
+func TestPostBatchRejectsDuplicateWR(t *testing.T) {
+	e := newTableEnv(t, 2, 4)
+	e.stock(t, 4)
+	wr := e.sendWR(1, 64)
+	if _, err := e.table.PostBatch(0, []proxy.ConnWR{{Conn: 0, WR: wr}, {Conn: 1, WR: wr}}); err == nil {
+		t.Fatal("duplicate *SendWR must be rejected")
+	}
+	if _, err := e.table.PostBatch(0, []proxy.ConnWR{{Conn: 0, WR: nil}}); err == nil {
+		t.Fatal("nil WR must be rejected")
+	}
+	if _, err := e.table.PostBatch(0, []proxy.ConnWR{{Conn: 9, WR: wr}}); err == nil {
+		t.Fatal("out-of-range conn must be rejected")
+	}
+	if st := e.table.Stats(); st.Posted != 0 {
+		t.Fatalf("rejected batches must leave no pending state: %+v", st)
+	}
+}
+
+// TestPostBatchGroupsPerQP: a batch groups each pooled QP's share into one
+// doorbell list, preserving per-connection posting order.
+func TestPostBatchGroupsPerQP(t *testing.T) {
+	e := newTableEnv(t, 2, 4)
+	e.stock(t, 8)
+	posts := []proxy.ConnWR{
+		{Conn: 0, WR: e.sendWR(10, 64)},
+		{Conn: 1, WR: e.sendWR(11, 64)},
+		{Conn: 2, WR: e.sendWR(12, 64)},
+		{Conn: 0, WR: e.sendWR(13, 64)},
+	}
+	base := e.cl.Machine(0).NIC().Counters().Doorbells
+	dels, err := e.table.PostBatch(0, posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 4 {
+		t.Fatalf("%d deliveries, want 4", len(dels))
+	}
+	// Deliveries are grouped by pool index: pool[0] serves conns 0 and 2,
+	// pool[1] serves conn 1; conn 0's two WRs stay in posting order.
+	want := []struct {
+		conn int
+		wrid uint64
+	}{{0, 10}, {2, 12}, {0, 13}, {1, 11}}
+	for i, w := range want {
+		if dels[i].Conn != w.conn || dels[i].Completion.WRID != w.wrid {
+			t.Fatalf("delivery %d = conn %d wrid %d, want conn %d wrid %d",
+				i, dels[i].Conn, dels[i].Completion.WRID, w.conn, w.wrid)
+		}
+	}
+	after := e.cl.Machine(0).NIC().Counters().Doorbells
+	if after-base != 2 {
+		t.Fatalf("%d doorbells for the batch, want 2 (one per pooled QP)", after-base)
+	}
+}

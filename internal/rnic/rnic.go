@@ -60,6 +60,17 @@ type StageCounters struct {
 	Rel RelCounters
 }
 
+// QPHitRate returns the QP-context cache hit fraction of this snapshot, or
+// 1 when the cache was never touched (an untouched cache has missed
+// nothing). Subtract two snapshots first to rate an interval.
+func (c StageCounters) QPHitRate() float64 {
+	total := c.QPHits + c.QPMisses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.QPHits) / float64(total)
+}
+
 // RelCounters is the device-wide reliability tally, summed over every QP on
 // the NIC. The verbs layer maintains it; it costs nothing in the timing
 // model.

@@ -1,22 +1,29 @@
-package verbs
+// This file is an external test (package verbs_test) so it can drive the
+// connection-serving layer (internal/proxy, which imports verbs) through the
+// same determinism property as the raw verbs traffic.
+package verbs_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
 	"rdmasem/internal/cluster"
 	"rdmasem/internal/fabric"
 	"rdmasem/internal/mem"
+	"rdmasem/internal/proxy"
 	"rdmasem/internal/rnic"
 	"rdmasem/internal/sim"
 	"rdmasem/internal/telemetry"
+	"rdmasem/internal/verbs"
 )
 
 // engineObservation is everything a run exposes: the closed-loop result
 // (with full latency records), the rendered telemetry snapshot, per-NIC
-// stage and reliability counters, the fabric fault tallies, and every
-// endpoint's inbox witness (delivery count + merge-order hash).
+// stage and reliability counters, the fabric fault tallies, every
+// endpoint's inbox witness (delivery count + merge-order hash), and the
+// connection-serving layer's demux/SRQ/daemon tallies.
 type engineObservation struct {
 	res        sim.Result
 	metrics    string
@@ -24,18 +31,24 @@ type engineObservation struct {
 	faults     fabric.FaultStats
 	deliveries []uint64
 	hashes     []uint64
+
+	table                      proxy.TableStats
+	srqPosted, srqHanded       uint64
+	daemonStaged, daemonDirect int64
 }
 
-// runEngineWorkload builds a fresh 4-pair cluster under a seeded lossy fabric
-// with telemetry attached, drives mixed RC WRITE/READ traffic over each pair
-// on the sharded engine at the given worker count, and returns the full
+// runEngineWorkload builds a fresh cluster under a seeded lossy fabric with
+// telemetry attached — four machine pairs of mixed RC WRITE/READ traffic
+// plus a fifth pair serving twelve logical connections through an SRQ, a
+// shared-pool connection table and a proxy daemon — drives it on the
+// sharded engine at the given worker count, and returns the full
 // observation.
 func runEngineWorkload(t *testing.T, workers int) engineObservation {
 	t.Helper()
 	const pairs = 4
 	reg := telemetry.NewRegistry()
 	cfg := cluster.DefaultConfig()
-	cfg.Machines = 2 * pairs
+	cfg.Machines = 2*pairs + 2
 	cfg.Faults = &fabric.FaultPlan{Seed: 5, Drop: 0.01, Corrupt: 0.005, DelayP: 0.02, Delay: 2000}
 	cfg.Telemetry = reg
 	cl, err := cluster.New(cfg)
@@ -45,23 +58,23 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 	eng := cl.NewEngine(workers)
 	for p := 0; p < pairs; p++ {
 		ma, mb := cl.Machine(2*p), cl.Machine(2*p+1)
-		ctxA, ctxB := NewContext(ma), NewContext(mb)
-		qp, _, err := Connect(ctxA, 1, ctxB, 1, RC)
+		ctxA, ctxB := verbs.NewContext(ma), verbs.NewContext(mb)
+		qp, _, err := verbs.Connect(ctxA, 1, ctxB, 1, verbs.RC)
 		if err != nil {
 			t.Fatal(err)
 		}
 		mrA := ctxA.MustRegisterMR(ma.MustAlloc(1, 1<<20, 0))
 		mrB := ctxB.MustRegisterMR(mb.MustAlloc(1, 1<<20, 0))
 		p := p
-		write := &SendWR{
-			Opcode:     OpWrite,
-			SGL:        []SGE{{Addr: mrA.Addr(), Length: 256, MR: mrA}},
+		write := &verbs.SendWR{
+			Opcode:     verbs.OpWrite,
+			SGL:        []verbs.SGE{{Addr: mrA.Addr(), Length: 256, MR: mrA}},
 			RemoteAddr: mrB.Addr() + mem.Addr(p*4096),
 			RemoteKey:  mrB.RKey(),
 		}
-		read := &SendWR{
-			Opcode:     OpRead,
-			SGL:        []SGE{{Addr: mrA.Addr() + 4096, Length: 128, MR: mrA}},
+		read := &verbs.SendWR{
+			Opcode:     verbs.OpRead,
+			SGL:        []verbs.SGE{{Addr: mrA.Addr() + 4096, Length: 128, MR: mrA}},
 			RemoteAddr: mrB.Addr() + mem.Addr(p*4096+2048),
 			RemoteKey:  mrB.RKey(),
 		}
@@ -86,6 +99,71 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 			},
 		}, ma, mb)
 	}
+
+	// Fifth pair: the connection-serving stack under the same lossy plan.
+	// Twelve logical connections share a pool of four physical QPs behind a
+	// table; the server drains every inbound SEND from one SRQ; a third of
+	// the connections go through the proxy daemon. A pooled QP that exhausts
+	// its retry budget flushes its own connections — the clients tolerate
+	// ErrQPError and keep looping, and that error path must be just as
+	// deterministic as the happy one.
+	mc, md := cl.Machine(2*pairs), cl.Machine(2*pairs+1)
+	ctxC, ctxD := verbs.NewContext(mc), verbs.NewContext(md)
+	srq := verbs.NewSRQ(ctxD)
+	pool := make([]*verbs.QP, 4)
+	for i := range pool {
+		qp, peer := verbs.MustConnect(ctxC, 1, ctxD, 1, verbs.RC)
+		if err := peer.AttachSRQ(srq); err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = qp
+	}
+	table, err := proxy.NewTable(pool, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := proxy.NewDaemon(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrC := ctxC.MustRegisterMR(mc.MustAlloc(1, 1<<20, 0))
+	mrD := ctxD.MustRegisterMR(md.MustAlloc(1, 1<<20, 0))
+	for cli := 0; cli < 3; cli++ {
+		cli := cli
+		conns := []int{cli * 4, cli*4 + 1, cli*4 + 2, cli*4 + 3}
+		wr := &verbs.SendWR{
+			Opcode: verbs.OpSend,
+			SGL:    []verbs.SGE{{Addr: mrC.Addr() + mem.Addr(cli*256), Length: 96, MR: mrC}},
+		}
+		turn := 0
+		eng.Add(&sim.Client{
+			PostCost: 250, Window: 1, RecordLatencies: cli == 0,
+			Op: func(post sim.Time) sim.Time {
+				conn := conns[turn%len(conns)]
+				turn++
+				if err := srq.PostRecv(verbs.RecvWR{SGE: verbs.SGE{
+					Addr: mrD.Addr() + mem.Addr(conn*256), Length: 256, MR: mrD,
+				}}); err != nil {
+					panic(err)
+				}
+				var del proxy.Delivery
+				var err error
+				if cli == 2 {
+					del, err = daemon.Post(post, conn, wr)
+				} else {
+					del, err = table.Post(post, conn, wr)
+				}
+				if err != nil && !errors.Is(err, verbs.ErrQPError) {
+					panic(err)
+				}
+				if del.Completion.Done > post {
+					return del.Completion.Done
+				}
+				return post
+			},
+		}, mc, md)
+	}
+
 	obs := engineObservation{res: eng.Run(500 * sim.Microsecond)}
 	cl.FoldTelemetry()
 	var buf bytes.Buffer
@@ -99,15 +177,18 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 		obs.deliveries = append(obs.deliveries, e.Deliveries())
 		obs.hashes = append(obs.hashes, e.MergeHash())
 	}
+	obs.table = table.Stats()
+	obs.srqPosted, obs.srqHanded = srq.Posted(), srq.Handed()
+	obs.daemonStaged, obs.daemonDirect = daemon.Stats()
 	return obs
 }
 
 // TestEngineWorkerCountDeterminism is the cross-layer determinism property
 // the sharded kernel promises: on a lossy fabric with telemetry attached,
 // every observable — closed-loop results with latency records, telemetry
-// snapshots, NIC stage and reliability counters, fault tallies and every
-// endpoint's fabric-boundary merge witness — is identical at workers
-// 1, 2, 4 and 8.
+// snapshots, NIC stage and reliability counters, fault tallies, every
+// endpoint's fabric-boundary merge witness, and the SRQ/connection-table/
+// proxy-daemon tallies — is identical at workers 1, 2, 4 and 8.
 func TestEngineWorkerCountDeterminism(t *testing.T) {
 	want := runEngineWorkload(t, 1)
 	if want.res.Completed == 0 {
@@ -128,6 +209,15 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 	if !anyRetrans {
 		t.Fatal("no retransmissions: reliability layer not exercised")
 	}
+	if want.table.Posted == 0 || want.table.Delivered != want.table.Posted {
+		t.Fatalf("connection table idle or leaking: %+v", want.table)
+	}
+	if want.srqHanded == 0 || want.srqHanded > want.srqPosted {
+		t.Fatalf("SRQ not exercised or over-drained: posted=%d handed=%d", want.srqPosted, want.srqHanded)
+	}
+	if want.daemonStaged == 0 {
+		t.Fatal("proxy daemon staged nothing")
+	}
 	for _, workers := range []int{2, 4, 8} {
 		got := runEngineWorkload(t, workers)
 		if !reflect.DeepEqual(want.res, got.res) {
@@ -144,6 +234,11 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(want.deliveries, got.deliveries) || !reflect.DeepEqual(want.hashes, got.hashes) {
 			t.Fatalf("workers=%d: fabric merge witnesses diverged", workers)
+		}
+		if want.table != got.table ||
+			want.srqPosted != got.srqPosted || want.srqHanded != got.srqHanded ||
+			want.daemonStaged != got.daemonStaged || want.daemonDirect != got.daemonDirect {
+			t.Fatalf("workers=%d: connection-serving tallies diverged", workers)
 		}
 	}
 }

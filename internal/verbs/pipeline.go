@@ -41,6 +41,7 @@ type qpState struct {
 	sendCQ    *CQ
 	recvCQ    *CQ
 	recvQ     []RecvWR
+	srq       *SRQ          // shared receive queue; inbound SENDs drain it instead of recvQ
 	obs       StageObserver // active stage listener, else nil
 	met       *stageMetrics // telemetry bridge, else nil (cluster had no registry/timeline)
 	state     State         // READY until reliability retries exhaust (or ForceError)
@@ -210,8 +211,12 @@ func (s *qpState) RecvCQ() *CQ { return s.recvCQ }
 // Pipeline exposes the per-QP pipeline resource (ablation benchmarks).
 func (s *qpState) Pipeline() *sim.Resource { return s.pipeline }
 
-// PostRecv posts a receive buffer for incoming SEND/datagram traffic.
+// PostRecv posts a receive buffer for incoming SEND/datagram traffic. On an
+// SRQ-attached QP receives must be posted to the SRQ instead.
 func (s *qpState) PostRecv(wr RecvWR) error {
+	if s.srq != nil {
+		return fmt.Errorf("%w: QP %d drains an SRQ; post receives there", ErrBadSGL, s.id)
+	}
 	if wr.SGE.MR == nil || wr.SGE.MR.ctx != s.ctx {
 		return fmt.Errorf("%w: receive buffer must be a local MR", ErrBadSGL)
 	}
@@ -620,14 +625,14 @@ func respond(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) (sim.Tim
 		return t, old, nil
 
 	case OpSend:
-		if len(dst.recvQ) == 0 {
+		if dst.recvEmpty() {
 			return 0, 0, ErrRNR
 		}
-		recv := dst.recvQ[0]
+		recv := dst.frontRecv()
 		if recv.SGE.Length < total {
 			return 0, 0, fmt.Errorf("%w: receive buffer %d < payload %d", ErrBadSGL, recv.SGE.Length, total)
 		}
-		dst.recvQ = dst.recvQ[1:]
+		dst.popRecv()
 		t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
 		rcross := 0
 		if recv.SGE.MR.region.Socket() != rm.PortSocket(dst.port) {
@@ -653,14 +658,14 @@ func deliverDatagram(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) 
 	rnicDev := rm.NIC()
 	rmeta := rnicDev.TouchQP(dst.id)
 	rt := rnicDev.Port(dst.port).Execute(arrive+rmeta.Latency, rnicDev.Params().RespWrite, rmeta.Service)
-	if len(dst.recvQ) == 0 {
+	if dst.recvEmpty() {
 		return rt, true, nil
 	}
-	recv := dst.recvQ[0]
+	recv := dst.frontRecv()
 	if recv.SGE.Length < total {
 		return 0, false, fmt.Errorf("%w: receive buffer %d < datagram %d", ErrBadSGL, recv.SGE.Length, total)
 	}
-	dst.recvQ = dst.recvQ[1:]
+	dst.popRecv()
 	rcross := 0
 	if recv.SGE.MR.region.Socket() != rm.PortSocket(dst.port) {
 		rcross = 1

@@ -501,17 +501,19 @@ func respondReliable(src, dst *qpState, arrive sim.Time, wr *SendWR, total int) 
 		return t, old, false, nil
 
 	case OpSend:
-		if len(dst.recvQ) == 0 {
+		if dst.recvEmpty() {
 			// RNR NAK leaves after the responder engine has looked at the
-			// request.
+			// request. An exhausted SRQ is the same receiver-not-ready
+			// condition as an empty per-QP receive queue: RC backs off and
+			// retries, it never drops.
 			t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
 			return t, 0, true, nil
 		}
-		recv := dst.recvQ[0]
+		recv := dst.frontRecv()
 		if recv.SGE.Length < total {
 			return 0, 0, false, fmt.Errorf("%w: receive buffer %d < payload %d", ErrBadSGL, recv.SGE.Length, total)
 		}
-		dst.recvQ = dst.recvQ[1:]
+		dst.popRecv()
 		t := rport.Execute(arrive+meta.Latency, rp.RespWrite, meta.Service)
 		rcross := 0
 		if recv.SGE.MR.region.Socket() != rm.PortSocket(dst.port) {

@@ -1,0 +1,237 @@
+package verbs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rdmasem/internal/mem"
+	"rdmasem/internal/sim"
+)
+
+// srqPair is newPair with a second A->B QP and both B-side ends draining one
+// SRQ.
+func srqPair(t *testing.T) (*pairEnv, *SRQ, [2]*QP, [2]*QP) {
+	t.Helper()
+	e := newPair(t)
+	srq := NewSRQ(e.ctxB)
+	qp2, peer2 := MustConnect(e.ctxA, 1, e.ctxB, 1, RC)
+	if err := e.qpB.AttachSRQ(srq); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer2.AttachSRQ(srq); err != nil {
+		t.Fatal(err)
+	}
+	return e, srq, [2]*QP{e.qpA, qp2}, [2]*QP{e.qpB, peer2}
+}
+
+func srqSendWR(e *pairEnv, off, size int) *SendWR {
+	return &SendWR{
+		Opcode: OpSend,
+		SGL:    []SGE{{Addr: e.mrA.Addr() + mem.Addr(off), Length: size, MR: e.mrA}},
+	}
+}
+
+// TestSRQAttachValidation pins the attach-time rules: same machine only, no
+// mixing with already-posted per-QP receives, no per-QP posting afterwards,
+// and SRQ buffers must be local MRs of the SRQ's context.
+func TestSRQAttachValidation(t *testing.T) {
+	e := newPair(t)
+	srqA := NewSRQ(e.ctxA)
+	if err := e.qpB.AttachSRQ(srqA); err == nil {
+		t.Fatal("cross-machine attach must fail")
+	}
+	if err := e.qpB.AttachSRQ(nil); err == nil {
+		t.Fatal("nil attach must fail")
+	}
+	if err := e.qpB.PostRecv(RecvWR{SGE: SGE{Addr: e.mrB.Addr(), Length: 64, MR: e.mrB}}); err != nil {
+		t.Fatal(err)
+	}
+	srqB := NewSRQ(e.ctxB)
+	if err := e.qpB.AttachSRQ(srqB); err == nil {
+		t.Fatal("attach with posted per-QP receives must fail")
+	}
+	qp2, peer2 := MustConnect(e.ctxA, 1, e.ctxB, 1, RC)
+	_ = qp2
+	if err := peer2.AttachSRQ(srqB); err != nil {
+		t.Fatal(err)
+	}
+	if peer2.SRQ() != srqB {
+		t.Fatal("SRQ accessor lost the attachment")
+	}
+	if err := peer2.PostRecv(RecvWR{SGE: SGE{Addr: e.mrB.Addr(), Length: 64, MR: e.mrB}}); err == nil {
+		t.Fatal("per-QP PostRecv on an SRQ-attached QP must fail")
+	}
+	// SRQ buffer validation matches per-QP PostRecv.
+	if err := srqB.PostRecv(RecvWR{SGE: SGE{Addr: e.mrA.Addr(), Length: 64, MR: e.mrA}}); err == nil {
+		t.Fatal("foreign-context MR must be rejected")
+	}
+	if err := srqB.PostRecv(RecvWR{SGE: SGE{Addr: e.mrB.Addr(), Length: 1 << 30, MR: e.mrB}}); err == nil {
+		t.Fatal("out-of-bounds buffer must be rejected")
+	}
+}
+
+// TestSRQLosslessRNR: on the lossless fabric an empty SRQ surfaces the same
+// ErrRNR a drained per-QP receive queue does, and a posted entry makes the
+// SEND land with its completion on the consuming QP's receive CQ.
+func TestSRQLosslessRNR(t *testing.T) {
+	e, srq, qps, peers := srqPair(t)
+	if _, err := qps[0].PostSend(0, srqSendWR(e, 0, 64)); !errors.Is(err, ErrRNR) {
+		t.Fatalf("err=%v, want ErrRNR", err)
+	}
+	if err := srq.PostRecv(RecvWR{ID: 9, SGE: SGE{Addr: e.mrB.Addr(), Length: 128, MR: e.mrB}}); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("shared receive queue")
+	copy(e.mrA.Region().Bytes(), msg)
+	comp, err := qps[0].PostSend(0, srqSendWR(e, 0, len(msg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Status != StatusOK || comp.Done <= 0 {
+		t.Fatalf("completion %+v", comp)
+	}
+	if !bytes.Equal(e.mrB.Region().Bytes()[:len(msg)], msg) {
+		t.Fatal("payload missing at receiver")
+	}
+	cqes := peers[0].RecvCQ().Poll(sim.MaxTime, 8)
+	if len(cqes) != 1 || cqes[0].WRID != 9 {
+		t.Fatalf("consuming QP's recv CQ got %+v", cqes)
+	}
+	if srq.Handed() != 1 || srq.Len() != 0 {
+		t.Fatalf("handed=%d len=%d, want 1/0", srq.Handed(), srq.Len())
+	}
+	// The oversized-payload check must not consume the entry.
+	if err := srq.PostRecv(RecvWR{ID: 10, SGE: SGE{Addr: e.mrB.Addr(), Length: 16, MR: e.mrB}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qps[0].PostSend(comp.Done, srqSendWR(e, 0, 64)); err == nil {
+		t.Fatal("payload larger than the head buffer must fail")
+	}
+	if srq.Len() != 1 {
+		t.Fatalf("failed size check consumed the head entry (len=%d)", srq.Len())
+	}
+}
+
+// TestSRQFIFOHandout: entries are handed to arriving SENDs in post order no
+// matter which attached QP they arrive on, and each receive completion
+// lands on the consuming QP's CQ.
+func TestSRQFIFOHandout(t *testing.T) {
+	e, srq, qps, peers := srqPair(t)
+	for id := uint64(1); id <= 4; id++ {
+		if err := srq.PostRecv(RecvWR{ID: id, SGE: SGE{
+			Addr: e.mrB.Addr() + mem.Addr(id*256), Length: 256, MR: e.mrB,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := sim.Time(0)
+	for i, qi := range []int{0, 1, 1, 0} {
+		comp, err := qps[qi].PostSend(now, srqSendWR(e, i*64, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = comp.Done
+	}
+	got0 := wrids(peers[0].RecvCQ().Poll(sim.MaxTime, 8))
+	got1 := wrids(peers[1].RecvCQ().Poll(sim.MaxTime, 8))
+	// Arrival order QP0, QP1, QP1, QP0 must consume entries 1, 2, 3, 4.
+	if len(got0) != 2 || got0[0] != 1 || got0[1] != 4 {
+		t.Fatalf("QP0 consumed %v, want [1 4]", got0)
+	}
+	if len(got1) != 2 || got1[0] != 2 || got1[1] != 3 {
+		t.Fatalf("QP1 consumed %v, want [2 3]", got1)
+	}
+	if srq.Posted() != 4 || srq.Handed() != 4 {
+		t.Fatalf("posted=%d handed=%d, want 4/4", srq.Posted(), srq.Handed())
+	}
+}
+
+func wrids(cqes []CQE) []uint64 {
+	out := make([]uint64, len(cqes))
+	for i, c := range cqes {
+		out[i] = c.WRID
+	}
+	return out
+}
+
+// TestSRQExhaustionIsRNRNotDrop: under the reliability layer an exhausted
+// SRQ draws RNR NAKs and RNR-timer retries — never a silent drop — exactly
+// like an empty per-QP receive queue; exhausting the retry budget errors
+// the WR with RNR_RETRY_EXC.
+func TestSRQExhaustionIsRNRNotDrop(t *testing.T) {
+	e := newLossyPair(t, quietPlan(), RC)
+	srq := NewSRQ(e.ctxB)
+	if err := e.qpB.AttachSRQ(srq); err != nil {
+		t.Fatal(err)
+	}
+	pol := e.qpA.RetryPolicy()
+	pol.RNRRetryCount = 3
+	e.qpA.SetRetryPolicy(pol)
+	comp, err := e.qpA.PostSend(0, &SendWR{
+		Opcode: OpSend,
+		SGL:    []SGE{{Addr: e.mrA.Addr(), Length: 64, MR: e.mrA}},
+	})
+	if !errors.Is(err, ErrQPError) || comp.Status != StatusRNRRetryExceeded {
+		t.Fatalf("comp=%+v err=%v, want RNR_RETRY_EXC + ErrQPError", comp, err)
+	}
+	st := e.qpA.Stats()
+	if st.RNRNaks != uint64(pol.RNRRetryCount) {
+		t.Fatalf("RNR NAKs %d, want %d", st.RNRNaks, pol.RNRRetryCount)
+	}
+	if st.SilentDrops != 0 {
+		t.Fatalf("%d silent drops; RC must never drop on an exhausted SRQ", st.SilentDrops)
+	}
+	if comp.Done < sim.Time(pol.RNRTimer)*sim.Time(pol.RNRRetryCount) {
+		t.Fatalf("error completion at %v arrived before %d RNR timers could have elapsed", comp.Done, pol.RNRRetryCount)
+	}
+	// A stocked SRQ clears the condition entirely on a fresh QP.
+	qp2, peer2 := MustConnect(e.ctxA, 1, e.ctxB, 1, RC)
+	if err := peer2.AttachSRQ(srq); err != nil {
+		t.Fatal(err)
+	}
+	if err := srq.PostRecv(RecvWR{ID: 1, SGE: SGE{Addr: e.mrB.Addr(), Length: 128, MR: e.mrB}}); err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := qp2.PostSend(0, &SendWR{
+		Opcode: OpSend,
+		SGL:    []SGE{{Addr: e.mrA.Addr(), Length: 64, MR: e.mrA}},
+	})
+	if err != nil || comp2.Status != StatusOK {
+		t.Fatalf("comp=%+v err=%v, want OK", comp2, err)
+	}
+	if st := qp2.Stats(); st.RNRNaks != 0 {
+		t.Fatalf("stocked SRQ still drew %d RNR NAKs", st.RNRNaks)
+	}
+}
+
+// TestSRQUDSilentDrop: UD keeps its unreliable-datagram semantics with an
+// SRQ attached — an empty queue drops the datagram silently instead of
+// raising RNR.
+func TestSRQUDSilentDrop(t *testing.T) {
+	e, qa, qb := udPair(t)
+	srq := NewSRQ(e.ctxB)
+	if err := qb.AttachSRQ(srq); err != nil {
+		t.Fatal(err)
+	}
+	comp, dropped, err := qa.Send(0, qb.Handle(), []SGE{{Addr: e.mrA.Addr(), Length: 32, MR: e.mrA}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped {
+		t.Fatal("empty SRQ must silently drop a UD datagram")
+	}
+	if comp.Done <= 0 {
+		t.Fatal("sender must still see a local completion")
+	}
+	if err := srq.PostRecv(RecvWR{ID: 3, SGE: SGE{Addr: e.mrB.Addr(), Length: 64, MR: e.mrB}}); err != nil {
+		t.Fatal(err)
+	}
+	_, dropped, err = qa.Send(comp.Done, qb.Handle(), []SGE{{Addr: e.mrA.Addr(), Length: 32, MR: e.mrA}}, false)
+	if err != nil || dropped {
+		t.Fatalf("dropped=%v err=%v, want delivery from the SRQ", dropped, err)
+	}
+	if cqes := qb.RecvCQ().Poll(sim.MaxTime, 4); len(cqes) != 1 || cqes[0].WRID != 3 {
+		t.Fatalf("recv CQ got %+v", cqes)
+	}
+}
