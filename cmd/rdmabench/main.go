@@ -28,9 +28,14 @@
 //	rdmabench -exp fig01 -faults seed=1,drop=0.01
 //
 // The plan is a comma-separated key=value list (seed, drop, corrupt, delayp,
-// delay); the same plan and seed always reproduce the same run. After each
-// experiment a fault/reliability summary line reports segments offered,
-// drops, corruptions, retransmissions, timeouts and NAKs.
+// delay, flapdown, flapperiod, crash); the same plan and seed always
+// reproduce the same run. flapdown/flapperiod take every link down for the
+// first flapdown ns of each flapperiod ns window (per-link phase from the
+// seed), and crash=M@AT+DUR takes machine M down entirely from AT for DUR ns
+// (semicolon-separated for several events). After each experiment a
+// fault/reliability summary line reports segments offered, drops (including
+// flap and crash drops), corruptions, retransmissions, timeouts, NAKs and QP
+// reconnects.
 //
 // -metrics attaches the deterministic telemetry registry to every experiment
 // cluster and prints a per-experiment summary (stage-latency histograms with
@@ -47,6 +52,11 @@
 // -conn-modes and -qp-pool parameterize the qpsweep connection-serving
 // comparison: which serving strategies to sweep (per-conn, srq, pool,
 // proxy) and how many physical QPs the pool/proxy modes share.
+//
+// -fault-flap and -recovery-modes parameterize the availability chaos
+// sweep: the link-flap intensities to sweep (comma-separated down/period
+// pairs in nanoseconds, e.g. 2000/25000,12000/25000) and which recovery
+// strategies to compare (none, reconnect, reconnect+remap).
 package main
 
 import (
@@ -81,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faults := fs.String("faults", "", "lossy-fabric plan, e.g. seed=1,drop=0.01 (empty = lossless)")
 	connModes := fs.String("conn-modes", "", "comma-separated qpsweep serving modes (per-conn,srq,pool,proxy); empty = all")
 	qpPool := fs.Int("qp-pool", 0, "physical-QP pool width of qpsweep's pool/proxy modes (0 = default 64)")
+	faultFlap := fs.String("fault-flap", "", "availability flap sweep: comma-separated down/period pairs in ns (empty = default sweep)")
+	recoveryModes := fs.String("recovery-modes", "", "comma-separated availability recovery modes (none,reconnect,reconnect+remap); empty = all")
 	metrics := fs.Bool("metrics", false, "print per-experiment telemetry (stage histograms, counters)")
 	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON of every op's stage walk to this file")
 	list := fs.Bool("list", false, "list experiment ids")
@@ -113,6 +125,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *qpPool != 0 {
 		if err := bench.SetQPPool(*qpPool); err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
+		}
+	}
+	if *faultFlap != "" {
+		if err := bench.SetFaultFlap(*faultFlap); err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
+		}
+	}
+	if *recoveryModes != "" {
+		if err := bench.SetRecoveryModes(strings.Split(*recoveryModes, ",")); err != nil {
 			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
 			return 2
 		}
@@ -171,10 +195,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if lossy {
 			ft := fabric.TakeTelemetry()
 			rt := verbs.TakeRelTelemetry()
-			fmt.Fprintf(stdout, "faults: segments=%d drops=%d corrupts=%d delays=%d\n",
-				ft.Segments, ft.Drops, ft.Corrupts, ft.Delays)
-			fmt.Fprintf(stdout, "reliability: segments=%d retransmits=%d timeouts=%d naks=%d rnr_naks=%d retries_exhausted=%d silent_drops=%d\n",
-				rt.Segments, rt.Retransmits, rt.AckTimeouts, rt.NaksReceived, rt.RNRNaks, rt.RetriesExhausted, rt.SilentDrops)
+			fmt.Fprintf(stdout, "faults: segments=%d drops=%d corrupts=%d delays=%d flap_drops=%d crash_drops=%d\n",
+				ft.Segments, ft.Drops, ft.Corrupts, ft.Delays, ft.FlapDrops, ft.CrashDrops)
+			fmt.Fprintf(stdout, "reliability: segments=%d retransmits=%d timeouts=%d naks=%d rnr_naks=%d retries_exhausted=%d silent_drops=%d reconnects=%d\n",
+				rt.Segments, rt.Retransmits, rt.AckTimeouts, rt.NaksReceived, rt.RNRNaks, rt.RetriesExhausted, rt.SilentDrops, rt.Reconnects)
 		}
 		if *metrics {
 			bench.TakeMetrics().Render(stdout)

@@ -29,6 +29,11 @@ func TestFlagValidation(t *testing.T) {
 		{"negative engine workers", []string{"-exp", "fig1", "-engine-workers", "-2"}, "-engine-workers must be >= 1"},
 		{"unknown conn mode", []string{"-exp", "qpsweep", "-conn-modes", "per-conn,bogus"}, `unknown connection mode "bogus"`},
 		{"negative qp pool", []string{"-exp", "qpsweep", "-qp-pool", "-8"}, "QP pool must be at least 1"},
+		{"malformed flap spec", []string{"-exp", "availability", "-fault-flap", "2000"}, "is not down/period"},
+		{"flap down not a number", []string{"-exp", "availability", "-fault-flap", "x/25000"}, "flap down"},
+		{"flap down >= period", []string{"-exp", "availability", "-fault-flap", "25000/25000"}, "needs 0 < down < period"},
+		{"unknown recovery mode", []string{"-exp", "availability", "-recovery-modes", "none,bogus"}, `unknown recovery mode "bogus"`},
+		{"bad crash spec", []string{"-exp", "fig1", "-faults", "seed=1,crash=0@5"}, "rdmabench"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -126,6 +131,35 @@ func TestConnModesSmoke(t *testing.T) {
 	}
 	if strings.Contains(out, "per-conn") || strings.Contains(out, "srq") {
 		t.Fatalf("-conn-modes pool,proxy leaked excluded modes into output:\n%s", out)
+	}
+}
+
+// TestAvailabilityKnobsSmoke runs the availability chaos sweep restricted to
+// one recovery mode and one flap point: the report must carry only the
+// requested line, and the knobs must reset for later tests.
+func TestAvailabilityKnobsSmoke(t *testing.T) {
+	t.Cleanup(func() {
+		if err := bench.SetRecoveryModes(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := bench.SetFaultFlap(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "availability", "-scale", "0.02",
+		"-recovery-modes", "reconnect+remap", "-fault-flap", "6000/25000"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== availability ==", "reconnect+remap", "time-to-recovery"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\nnone ") {
+		t.Fatalf("-recovery-modes leaked the excluded none mode into the table:\n%s", out)
 	}
 }
 

@@ -350,6 +350,42 @@ func TestQPSweepShape(t *testing.T) {
 	}
 }
 
+func TestAvailabilityShape(t *testing.T) {
+	r := mustRun(t, "availability", 0.02)
+	duties := []float64{8, 24, 48}
+	// At the mildest flap nothing dies: all three modes match.
+	base := yAt(t, r, 0, "none", duties[0])
+	for _, mode := range []string{"reconnect", "reconnect+remap"} {
+		if y := yAt(t, r, 0, mode, duties[0]); y != base {
+			t.Errorf("at 8%% downtime %s goodput %v != none %v (recovery must be free when nothing fails)", mode, y, base)
+		}
+	}
+	// The acceptance claim: reconnect+remap recovers >= 2x the no-recovery
+	// goodput at the highest flap intensity (in practice far more — the
+	// unprotected pool bleeds out entirely).
+	none := yAt(t, r, 0, "none", duties[len(duties)-1])
+	remap := yAt(t, r, 0, "reconnect+remap", duties[len(duties)-1])
+	if remap < 2*none {
+		t.Errorf("reconnect+remap at 48%% downtime = %v, want >= 2x none (%v)", remap, none)
+	}
+	// Remap dominates bare reconnect (victim conns keep flowing on the
+	// survivors instead of waiting for the walk), which dominates nothing.
+	reconnect := yAt(t, r, 0, "reconnect", duties[len(duties)-1])
+	if !(remap > reconnect && reconnect > none) {
+		t.Errorf("ordering remap(%v) > reconnect(%v) > none(%v) violated", remap, reconnect, none)
+	}
+	// TTR: remapped recovery completes much faster than waiting out the
+	// reconnect walk; no-recovery never recovers anything.
+	for _, d := range duties[1:] {
+		if y := yAt(t, r, 1, "none", d); y != 0 {
+			t.Errorf("none mode reported a TTR (%v) at %v%% downtime", y, d)
+		}
+		if rc, rm := yAt(t, r, 1, "reconnect", d), yAt(t, r, 1, "reconnect+remap", d); rm >= rc {
+			t.Errorf("at %v%% downtime p99 TTR remap (%v) should beat reconnect (%v)", d, rm, rc)
+		}
+	}
+}
+
 func TestYCSBShape(t *testing.T) {
 	r := mustRun(t, "ycsb", 0.1)
 	// Consolidation leads at every read fraction; plain NUMA declines as

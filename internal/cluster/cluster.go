@@ -63,6 +63,7 @@ type Machine struct {
 	fab       *fabric.Fabric
 	endpoints []*fabric.Endpoint // one per NIC port
 	qpSeq     *uint64            // cluster-wide QP number allocator
+	cm        *sim.Resource      // connection manager (QP modify/reconnect), built on first use
 	reg       *telemetry.Registry
 	tl        *telemetry.Timeline
 	tlPID     int64 // timeline process group shared by the cluster
@@ -120,7 +121,7 @@ func New(cfg Config) (*Cluster, error) {
 			tlPID:    tlPID,
 		}
 		for p := 0; p < nic.Ports(); p++ {
-			m.endpoints = append(m.endpoints, fab.Register(fmt.Sprintf("m%d/p%d", i, p)))
+			m.endpoints = append(m.endpoints, fab.RegisterAt(fmt.Sprintf("m%d/p%d", i, p), i))
 		}
 		if cfg.Telemetry != nil {
 			m.attachTelemetry(cfg.Telemetry)
@@ -210,6 +211,7 @@ func (c *Cluster) FoldTelemetry() {
 		rel("retries-exhausted", sc.Rel.RetriesExhausted)
 		rel("flushed-wrs", sc.Rel.FlushedWRs)
 		rel("silent-drops", sc.Rel.SilentDrops)
+		rel("reconnects", sc.Rel.Reconnects)
 	}
 	fs := c.fab.FaultStats()
 	ffold := func(stage string, v uint64) {
@@ -221,6 +223,8 @@ func (c *Cluster) FoldTelemetry() {
 	ffold("drops", fs.Drops)
 	ffold("corrupts", fs.Corrupts)
 	ffold("delays", fs.Delays)
+	ffold("flap-drops", fs.FlapDrops)
+	ffold("crash-drops", fs.CrashDrops)
 }
 
 // Config returns the cluster configuration.
@@ -254,6 +258,9 @@ func (c *Cluster) Reset() {
 	for _, m := range c.machines {
 		m.nic.Reset()
 		m.qpi.Reset()
+		if m.cm != nil {
+			m.cm.Reset()
+		}
 	}
 }
 
@@ -287,6 +294,32 @@ func (m *Machine) QPI() *sim.Pipe { return m.qpi }
 
 // Fabric returns the switch the machine's ports are plugged into.
 func (m *Machine) Fabric() *fabric.Fabric { return m.fab }
+
+// CM returns the machine's connection-manager resource: the serialized
+// driver/firmware path that executes QP state transitions (ibv_modify_qp)
+// during connection recovery. It is built on first use — a cluster that
+// never reconnects has no CM resource and therefore byte-identical telemetry
+// to builds without the recovery layer.
+func (m *Machine) CM() *sim.Resource {
+	if m.cm == nil {
+		m.cm = sim.NewResource(fmt.Sprintf("m%d/cm", m.id))
+		if m.reg != nil {
+			wait := m.reg.Hist(m.Label(), "cm", "wait")
+			service := m.reg.Hist(m.Label(), "cm", "service")
+			m.cm.Observe(func(arrival, start, end sim.Time) {
+				wait.Observe(start - arrival)
+				service.Observe(end - start)
+			})
+		}
+	}
+	return m.cm
+}
+
+// CrashedAt reports whether the fault plan has this machine inside a crash
+// window at time t (false without a plan).
+func (m *Machine) CrashedAt(t sim.Time) bool {
+	return m.fab.Params().Faults.MachineDown(m.id, t)
+}
 
 // NextQPID hands out the next QP number, unique across the whole cluster.
 // The counter lives on the Cluster, not in package state, so concurrent

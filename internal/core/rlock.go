@@ -52,16 +52,16 @@ func (s *LockState) releaseAt(t sim.Time, who int) error {
 }
 
 // BackoffConfig tunes the exponential back-off of Section III-E (Anderson's
-// scheme): after a failed attempt, wait Base, doubling up to Max.
-type BackoffConfig struct {
-	Base sim.Duration
-	Max  sim.Duration
-}
+// scheme): after a failed attempt, wait Base, doubling up to Max. It is the
+// shared sim.Backoff walk, aliased so lock construction keeps its historical
+// name while the connection-recovery layer (internal/proxy) reuses the same
+// clamped doubling.
+type BackoffConfig = sim.Backoff
 
 // DefaultBackoff mirrors the paper's back-off counterpart curves: the cap
 // stays near one lock round trip so a free lock is re-probed promptly.
 func DefaultBackoff() BackoffConfig {
-	return BackoffConfig{Base: 500, Max: 4 * sim.Microsecond}
+	return sim.DefaultBackoff()
 }
 
 // RemoteLock is a spinlock backed by RDMA compare-and-swap.
@@ -141,15 +141,9 @@ func (l *RemoteLock) Acquire(now sim.Time) (sim.Time, error) {
 	}
 }
 
-// nextBackoff doubles the delay, clamped to max: with a non-power-of-two cap
-// (say Base=500ns, Max=3µs) the sequence is 500, 1000, 2000, 3000, 3000, …
-// rather than overshooting to 4000.
+// nextBackoff doubles the delay, clamped to max (see sim.Backoff.Next).
 func nextBackoff(delay, max sim.Duration) sim.Duration {
-	delay *= 2
-	if delay > max {
-		delay = max
-	}
-	return delay
+	return sim.Backoff{Max: max}.Next(delay)
 }
 
 // Release clears the lock word with a CAS(owner -> 0). Using an atomic for

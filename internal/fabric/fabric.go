@@ -47,6 +47,7 @@ func (p Params) Validate() error {
 type Endpoint struct {
 	name     string
 	id       int // registration index; keys the fault stream
+	machine  int // owning machine for crash windows; -1 = never crashes
 	tx       *sim.Pipe
 	rx       *sim.Pipe
 	faultSeq uint64     // segments offered to the fault model on this link
@@ -131,13 +132,22 @@ func New(p Params) (*Fabric, error) {
 // Params returns the fabric configuration.
 func (f *Fabric) Params() Params { return f.params }
 
-// Register plugs a new port into the switch and returns its endpoint.
+// Register plugs a new port into the switch and returns its endpoint. The
+// port belongs to no machine: crash windows never cover it.
 func (f *Fabric) Register(name string) *Endpoint {
+	return f.RegisterAt(name, -1)
+}
+
+// RegisterAt plugs a new port into the switch as machine's port, so the
+// fault plan's machine-scoped crash windows apply to it. Machine -1 means
+// "no machine" (Register's behavior).
+func (f *Fabric) RegisterAt(name string, machine int) *Endpoint {
 	e := &Endpoint{
-		name: name,
-		id:   len(f.endpoints),
-		tx:   sim.NewPipe(name+"/tx", f.params.LinkBandwidth, 0),
-		rx:   sim.NewPipe(name+"/rx", f.params.LinkBandwidth, 0),
+		name:    name,
+		id:      len(f.endpoints),
+		machine: machine,
+		tx:      sim.NewPipe(name+"/tx", f.params.LinkBandwidth, 0),
+		rx:      sim.NewPipe(name+"/rx", f.params.LinkBandwidth, 0),
 	}
 	f.endpoints = append(f.endpoints, e)
 	return e

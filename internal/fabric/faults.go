@@ -23,6 +23,28 @@ type FaultPlan struct {
 	Delay   sim.Duration
 	// Delay is the maximum extra delay; the actual delay is uniform in
 	// [0, Delay] when the DelayP draw hits.
+
+	// FlapDown/FlapPeriod model link flapping: every FlapPeriod each link
+	// goes down for FlapDown, and every segment sent on a down link (or
+	// arriving on one) is lost. Each link's flap phase is drawn from the
+	// seed, so links flap out of step but identically across runs. Zero
+	// FlapPeriod (the default) disables flapping entirely.
+	FlapDown   sim.Duration
+	FlapPeriod sim.Duration
+
+	// Crashes are machine-scoped outages: while a crash window covers a
+	// machine, all of its links drop every segment in either direction and
+	// its QPs are forced to the error state on their next post. The machine
+	// restarts (links restored, QPs reconnectable) when the window ends.
+	Crashes []CrashEvent
+}
+
+// CrashEvent is one machine crash/restart window: machine Machine goes down
+// at At and comes back at At+Down.
+type CrashEvent struct {
+	Machine int
+	At      sim.Time
+	Down    sim.Duration
 }
 
 // Validate checks the plan's parameters.
@@ -44,13 +66,48 @@ func (p *FaultPlan) Validate() error {
 	if p.DelayP > 0 && p.Delay == 0 {
 		return fmt.Errorf("fabric: delayp %v set with zero delay bound", p.DelayP)
 	}
+	if p.Delay > 0 && p.DelayP == 0 {
+		return fmt.Errorf("fabric: delay %v set with zero delayp (the bound would be silently inert)", p.Delay)
+	}
+	if p.FlapDown < 0 || p.FlapPeriod < 0 {
+		return fmt.Errorf("fabric: negative flap window (down=%v period=%v)", p.FlapDown, p.FlapPeriod)
+	}
+	if p.FlapDown > 0 && p.FlapPeriod <= p.FlapDown {
+		return fmt.Errorf("fabric: flap period %v must exceed the down window %v (the link must come back up)", p.FlapPeriod, p.FlapDown)
+	}
+	if p.FlapPeriod > 0 && p.FlapDown == 0 {
+		return fmt.Errorf("fabric: flap period %v set with zero down window (flapping would be silently inert)", p.FlapPeriod)
+	}
+	for _, e := range p.Crashes {
+		if e.Machine < 0 {
+			return fmt.Errorf("fabric: crash event names negative machine %d", e.Machine)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("fabric: crash event at negative time %v", e.At)
+		}
+		if e.Down <= 0 {
+			return fmt.Errorf("fabric: crash event outage must be positive, got %v", e.Down)
+		}
+	}
 	return nil
 }
 
 // Active reports whether the plan can ever perturb a segment.
 func (p *FaultPlan) Active() bool {
-	return p != nil && (p.Drop > 0 || p.Corrupt > 0 || p.DelayP > 0)
+	return p != nil && (p.Drop > 0 || p.Corrupt > 0 || p.DelayP > 0 ||
+		p.FlapDown > 0 || len(p.Crashes) > 0)
 }
+
+// HasOutages reports whether the plan schedules link-flap windows or machine
+// crashes (the failure modes the recovery layer exists for). The per-segment
+// outage check in Deliver is skipped entirely when this is false, so plans
+// without outages keep their exact historical fault stream.
+func (p *FaultPlan) HasOutages() bool {
+	return p != nil && (p.FlapDown > 0 || len(p.Crashes) > 0)
+}
+
+// HasCrashes reports whether the plan schedules machine crash windows.
+func (p *FaultPlan) HasCrashes() bool { return p != nil && len(p.Crashes) > 0 }
 
 // String renders the plan in the same key=value form ParseFaultPlan accepts.
 func (p *FaultPlan) String() string {
@@ -70,16 +127,64 @@ func (p *FaultPlan) String() string {
 	if p.Delay > 0 {
 		parts = append(parts, fmt.Sprintf("delay=%d", int64(p.Delay)))
 	}
+	if p.FlapDown > 0 {
+		parts = append(parts, fmt.Sprintf("flapdown=%d", int64(p.FlapDown)))
+	}
+	if p.FlapPeriod > 0 {
+		parts = append(parts, fmt.Sprintf("flapperiod=%d", int64(p.FlapPeriod)))
+	}
+	if len(p.Crashes) > 0 {
+		evs := make([]string, len(p.Crashes))
+		for i, e := range p.Crashes {
+			evs[i] = fmt.Sprintf("%d@%d+%d", e.Machine, int64(e.At), int64(e.Down))
+		}
+		parts = append(parts, "crash="+strings.Join(evs, ";"))
+	}
 	return strings.Join(parts, ",")
+}
+
+// parseCrashes parses the crash=<m>@<at>+<down>[;...] event list.
+func parseCrashes(v string) ([]CrashEvent, error) {
+	var out []CrashEvent
+	for _, ev := range strings.Split(v, ";") {
+		ev = strings.TrimSpace(ev)
+		m, rest, ok := strings.Cut(ev, "@")
+		if !ok {
+			return nil, fmt.Errorf("fabric: crash event %q is not machine@at+down", ev)
+		}
+		at, down, ok := strings.Cut(rest, "+")
+		if !ok {
+			return nil, fmt.Errorf("fabric: crash event %q is not machine@at+down", ev)
+		}
+		var e CrashEvent
+		var err error
+		if e.Machine, err = strconv.Atoi(strings.TrimSpace(m)); err != nil {
+			return nil, fmt.Errorf("fabric: crash event machine %q: %v", m, err)
+		}
+		atN, err := strconv.ParseInt(strings.TrimSpace(at), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: crash event time %q: %v", at, err)
+		}
+		downN, err := strconv.ParseInt(strings.TrimSpace(down), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: crash event outage %q: %v", down, err)
+		}
+		e.At, e.Down = sim.Time(atN), sim.Duration(downN)
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // ParseFaultPlan parses a comma-separated key=value plan description, e.g.
 //
 //	seed=7,drop=0.01,corrupt=0.001,delayp=0.05,delay=2000
+//	seed=7,flapdown=4000,flapperiod=50000,crash=1@30000+20000
 //
 // Keys: seed (int), drop/corrupt/delayp (probabilities in [0,1]), delay
-// (max extra delay, virtual nanoseconds). Unknown or repeated keys are
-// errors. The returned plan is validated.
+// (max extra delay, virtual nanoseconds), flapdown/flapperiod (link-flap
+// window and cycle, virtual nanoseconds), crash (machine@at+down events,
+// ';'-separated). Unknown or repeated keys are errors. The returned plan is
+// validated.
 func ParseFaultPlan(s string) (*FaultPlan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -118,14 +223,27 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 			default:
 				p.DelayP = f
 			}
-		case "delay":
+		case "delay", "flapdown", "flapperiod":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fabric: fault plan delay %q: %v", v, err)
+				return nil, fmt.Errorf("fabric: fault plan %s %q: %v", k, v, err)
 			}
-			p.Delay = sim.Duration(n)
+			switch k {
+			case "delay":
+				p.Delay = sim.Duration(n)
+			case "flapdown":
+				p.FlapDown = sim.Duration(n)
+			default:
+				p.FlapPeriod = sim.Duration(n)
+			}
+		case "crash":
+			evs, err := parseCrashes(v)
+			if err != nil {
+				return nil, err
+			}
+			p.Crashes = evs
 		default:
-			return nil, fmt.Errorf("fabric: unknown fault plan key %q (have seed, drop, corrupt, delayp, delay)", k)
+			return nil, fmt.Errorf("fabric: unknown fault plan key %q (have seed, drop, corrupt, delayp, delay, flapdown, flapperiod, crash)", k)
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -159,10 +277,12 @@ func (v Verdict) String() string {
 
 // FaultStats tallies the fault model's activity on one fabric.
 type FaultStats struct {
-	Segments uint64 // segments offered to Deliver
-	Drops    uint64
-	Corrupts uint64
-	Delays   uint64
+	Segments   uint64 // segments offered to Deliver
+	Drops      uint64
+	Corrupts   uint64
+	Delays     uint64
+	FlapDrops  uint64 // segments lost to link-flap windows
+	CrashDrops uint64 // segments lost to machine crash windows
 }
 
 // splitmix64 is the fault stream's stateless mixing function.
@@ -175,6 +295,32 @@ func splitmix64(x uint64) uint64 {
 
 // unit maps a hash to a float in [0, 1).
 func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// linkDown reports whether link's flap window covers time t. Each link's
+// phase within the flap period is drawn from the plan seed, so links flap
+// out of step with each other but identically across runs and workers.
+func (p *FaultPlan) linkDown(link int, t sim.Time) bool {
+	if p.FlapDown <= 0 {
+		return false
+	}
+	phase := sim.Duration(splitmix64(uint64(p.Seed)^splitmix64(uint64(link))) % uint64(p.FlapPeriod))
+	return (sim.Duration(t)+phase)%p.FlapPeriod < p.FlapDown
+}
+
+// MachineDown reports whether a crash window covers machine at time t.
+// Machine -1 (an endpoint registered without a machine) is never down. Nil
+// plans report up, so callers can delegate without checking for a plan.
+func (p *FaultPlan) MachineDown(machine int, t sim.Time) bool {
+	if p == nil || machine < 0 {
+		return false
+	}
+	for _, e := range p.Crashes {
+		if e.Machine == machine && t >= e.At && t < e.At+sim.Time(e.Down) {
+			return true
+		}
+	}
+	return false
+}
 
 // fate draws the verdict and extra delay for segment seq on link. The draw
 // is a pure function of (plan seed, link id, sequence number): no RNG state,
@@ -213,13 +359,31 @@ func (f *Fabric) Deliver(now sim.Time, from, to *Endpoint, payload int) (sim.Tim
 	if payload < 0 {
 		panic("fabric: negative payload")
 	}
-	from.faultSeq++
-	verdict, extra := plan.fate(from.id, from.faultSeq)
 	from.faults.Segments++
 	telemetry.segments.Add(1)
 	wire := payload + f.params.FrameOverhead
 	txStart, _ := from.tx.Transfer(now, wire)
 	arrival := txStart + f.params.Propagation + f.params.SwitchLatency
+	if plan.HasOutages() {
+		// Outage losses are decided by the wall clock, not the fate stream:
+		// a down link or a crashed machine loses the segment no matter what
+		// the hash would have said, and draws nothing from the stream — so a
+		// plan whose outage windows never fire keeps its exact historical
+		// fault pattern. The sender's tx link was still occupied (the bytes
+		// left the port before the loss), hence the Transfer above.
+		if plan.MachineDown(from.machine, now) || plan.MachineDown(to.machine, arrival) {
+			from.faults.CrashDrops++
+			telemetry.crashDrops.Add(1)
+			return arrival, Dropped
+		}
+		if plan.linkDown(from.id, now) || plan.linkDown(to.id, arrival) {
+			from.faults.FlapDrops++
+			telemetry.flapDrops.Add(1)
+			return arrival, Dropped
+		}
+	}
+	from.faultSeq++
+	verdict, extra := plan.fate(from.id, from.faultSeq)
 	switch verdict {
 	case Dropped:
 		// Lost inside the switch: nothing merges into the destination inbox.
@@ -256,6 +420,8 @@ func (f *Fabric) FaultStats() FaultStats {
 		s.Drops += e.faults.Drops
 		s.Corrupts += e.faults.Corrupts
 		s.Delays += e.faults.Delays
+		s.FlapDrops += e.faults.FlapDrops
+		s.CrashDrops += e.faults.CrashDrops
 	}
 	return s
 }
@@ -268,18 +434,22 @@ func (e *Endpoint) FaultStats() FaultStats { return e.faults }
 // reporting. It is monotonic and atomic: it never feeds back into the
 // simulation, so it cannot perturb results at any sweep-pool width.
 var telemetry struct {
-	segments atomic.Uint64
-	drops    atomic.Uint64
-	corrupts atomic.Uint64
-	delays   atomic.Uint64
+	segments   atomic.Uint64
+	drops      atomic.Uint64
+	corrupts   atomic.Uint64
+	delays     atomic.Uint64
+	flapDrops  atomic.Uint64
+	crashDrops atomic.Uint64
 }
 
 // TakeTelemetry snapshots and zeroes the process-wide fault tallies.
 func TakeTelemetry() FaultStats {
 	return FaultStats{
-		Segments: telemetry.segments.Swap(0),
-		Drops:    telemetry.drops.Swap(0),
-		Corrupts: telemetry.corrupts.Swap(0),
-		Delays:   telemetry.delays.Swap(0),
+		Segments:   telemetry.segments.Swap(0),
+		Drops:      telemetry.drops.Swap(0),
+		Corrupts:   telemetry.corrupts.Swap(0),
+		Delays:     telemetry.delays.Swap(0),
+		FlapDrops:  telemetry.flapDrops.Swap(0),
+		CrashDrops: telemetry.crashDrops.Swap(0),
 	}
 }

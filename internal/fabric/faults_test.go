@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"reflect"
 	"testing"
 
 	"rdmasem/internal/sim"
@@ -30,16 +31,59 @@ func TestParseFaultPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *q != *p {
+	if !reflect.DeepEqual(q, p) {
 		t.Fatalf("round trip %+v != %+v", q, p)
 	}
 	for _, bad := range []string{
 		"", "drop", "drop=2", "drop=-1", "drop=NaN", "seed=x", "drop=0.1,drop=0.1",
 		"zorp=1", "delayp=0.5", "delay=-3", "drop=0.1,,",
+		"delay=5",                     // satellite: a delay bound without delayp is silently inert
+		"flapdown=100",                // flap window without a period
+		"flapperiod=100",              // flap period without a window
+		"flapdown=-1",                 // negative window
+		"flapdown=200,flapperiod=100", // the link never comes back up
+		"crash=1",                     // not machine@at+down
+		"crash=1@5",                   // missing outage
+		"crash=-1@5+10",               // negative machine
+		"crash=1@-5+10",               // negative time
+		"crash=1@5+0",                 // zero outage
+		"crash=x@5+10",                // non-numeric machine
 	} {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("ParseFaultPlan(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseFaultPlanOutages covers the flap/crash syntax and its String()
+// round trip.
+func TestParseFaultPlanOutages(t *testing.T) {
+	p, err := ParseFaultPlan("seed=9,flapdown=4000,flapperiod=50000,crash=1@30000+20000;3@100+200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &FaultPlan{
+		Seed:       9,
+		FlapDown:   4000,
+		FlapPeriod: 50000,
+		Crashes: []CrashEvent{
+			{Machine: 1, At: 30000, Down: 20000},
+			{Machine: 3, At: 100, Down: 200},
+		},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if !p.Active() || !p.HasOutages() || !p.HasCrashes() {
+		t.Fatalf("outage plan not active: Active=%v HasOutages=%v HasCrashes=%v",
+			p.Active(), p.HasOutages(), p.HasCrashes())
+	}
+	q, err := ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q, p) {
+		t.Fatalf("round trip %+v != %+v", q, p)
 	}
 }
 
@@ -166,6 +210,104 @@ func TestDeliverDelay(t *testing.T) {
 	}
 }
 
+// TestDeliverFlapDrops: a link inside its flap window loses every segment
+// (charging only the tx link, tallied as FlapDrops), and the flap phase is
+// deterministic across runs.
+func TestDeliverFlapDrops(t *testing.T) {
+	plan := &FaultPlan{Seed: 11, FlapDown: 400, FlapPeriod: 1000}
+	run := func() ([]Verdict, FaultStats) {
+		f := lossy(t, plan)
+		a, b := f.Register("a"), f.Register("b")
+		var vs []Verdict
+		for i := 0; i < 50; i++ {
+			_, v := f.Deliver(sim.Time(i*100), a, b, 64)
+			vs = append(vs, v)
+		}
+		return vs, f.FaultStats()
+	}
+	v1, s1 := run()
+	v2, s2 := run()
+	if !reflect.DeepEqual(v1, v2) || s1 != s2 {
+		t.Fatalf("flap stream not deterministic: %+v vs %+v", s1, s2)
+	}
+	// 400/1000 down: both fates must appear over 50 evenly spread sends.
+	var dropped, delivered bool
+	for _, v := range v1 {
+		dropped = dropped || v == Dropped
+		delivered = delivered || v == Delivered
+	}
+	if !dropped || !delivered {
+		t.Fatalf("flap 400/1000 over 50 sends: dropped=%v delivered=%v", dropped, delivered)
+	}
+	if s1.FlapDrops == 0 || s1.Drops != 0 {
+		t.Fatalf("flap losses must tally as FlapDrops, got %+v", s1)
+	}
+}
+
+// TestDeliverCrashDrops: segments to or from a crashed machine drop for
+// exactly the crash window, and endpoints registered without a machine are
+// untouched.
+func TestDeliverCrashDrops(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, Crashes: []CrashEvent{{Machine: 1, At: 1000, Down: 2000}}}
+	f := lossy(t, plan)
+	a := f.RegisterAt("a", 0)
+	b := f.RegisterAt("b", 1)
+	c := f.Register("c") // no machine: never crashes
+	if _, v := f.Deliver(0, a, b, 64); v != Delivered {
+		t.Fatalf("pre-crash verdict %v", v)
+	}
+	if _, v := f.Deliver(1500, a, b, 64); v != Dropped {
+		t.Fatal("segment into crashed machine must drop")
+	}
+	if _, v := f.Deliver(1500, b, a, 64); v != Dropped {
+		t.Fatal("segment out of crashed machine must drop")
+	}
+	if _, v := f.Deliver(1500, a, c, 64); v != Delivered {
+		t.Fatal("machine-less endpoints must not crash")
+	}
+	if _, v := f.Deliver(3500, a, b, 64); v != Delivered {
+		t.Fatal("machine must restart after the crash window")
+	}
+	if s := f.FaultStats(); s.CrashDrops != 2 || s.FlapDrops != 0 || s.Drops != 0 {
+		t.Fatalf("fault stats %+v", s)
+	}
+	if !plan.MachineDown(1, 1000) || plan.MachineDown(1, 3000) || plan.MachineDown(0, 1500) || plan.MachineDown(-1, 1500) {
+		t.Fatal("MachineDown window wrong")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.MachineDown(1, 1500) {
+		t.Fatal("nil plan must report machines up")
+	}
+}
+
+// TestQuietOutagePlanKeepsFaultStream pins the zero-cost property the
+// recovery layer leans on: a plan whose outage windows never fire (crashes
+// beyond the horizon) produces bit-identical verdicts and arrival times to
+// the same plan without outages, because outage checks draw nothing from the
+// fate stream.
+func TestQuietOutagePlanKeepsFaultStream(t *testing.T) {
+	base := &FaultPlan{Seed: 42, Drop: 0.2, Corrupt: 0.1, DelayP: 0.3, Delay: 500}
+	quiet := *base
+	quiet.Crashes = []CrashEvent{{Machine: 99, At: 1 << 40, Down: 1000}}
+	run := func(plan *FaultPlan) ([]Verdict, []sim.Time) {
+		f := lossy(t, plan)
+		a, b := f.RegisterAt("a", 0), f.RegisterAt("b", 1)
+		var vs []Verdict
+		var ts []sim.Time
+		for i := 0; i < 200; i++ {
+			at, v := f.Deliver(sim.Time(i*100), a, b, 256)
+			vs = append(vs, v)
+			ts = append(ts, at)
+		}
+		return vs, ts
+	}
+	v1, t1 := run(base)
+	v2, t2 := run(&quiet)
+	if !reflect.DeepEqual(v1, v2) || !reflect.DeepEqual(t1, t2) {
+		t.Fatal("quiet outage plan perturbed the fault stream")
+	}
+}
+
 // FuzzParseFaultPlan is the parser/validator fuzz target: any input either
 // fails cleanly or yields a valid plan whose String() re-parses to the same
 // value. The f.Add corpus doubles as the seed-corpus regression suite run by
@@ -186,6 +328,15 @@ func FuzzParseFaultPlan(f *testing.F) {
 		"drop=nan",
 		"=",
 		"seed=7,",
+		"seed=9,flapdown=4000,flapperiod=50000",
+		"flapdown=1,flapperiod=2",
+		"flapdown=200,flapperiod=100",
+		"crash=1@30000+20000",
+		"crash=0@0+1;1@5+5;2@10+10",
+		"crash=1@5+0",
+		"crash=@+",
+		"seed=3,drop=0.5,flapdown=10,flapperiod=100,crash=7@1+2",
+		"flapperiod=9223372036854775807,flapdown=1",
 	} {
 		f.Add(seed)
 	}
@@ -204,7 +355,7 @@ func FuzzParseFaultPlan(f *testing.F) {
 		if err != nil {
 			t.Fatalf("String() of parsed %q does not re-parse: %v", s, err)
 		}
-		if *rt != *p {
+		if !reflect.DeepEqual(rt, p) {
 			t.Fatalf("round trip %+v != %+v (input %q)", rt, p, s)
 		}
 		// The fault stream must be total: any (link, seq) draws a verdict.

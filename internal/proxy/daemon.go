@@ -31,9 +31,25 @@ type Daemon struct {
 	staged int64 // requests whose payload rode the IPC message into the bounce MR
 	direct int64 // requests that kept their own SGL (too large, or not a payload op)
 
+	// standby failover (see SetStandby / FailAt): when the daemon process is
+	// modeled as dead, requests redirect to the standby daemon on the same
+	// table; the first request to find the primary unresponsive pays the
+	// detection timeout.
+	standby   *Daemon
+	failAt    sim.Time
+	armed     bool
+	detected  bool
+	failovers uint64
+
 	scratch verbs.SendWR
 	sgl     [1]verbs.SGE
 }
+
+// FailoverTimeout is the modeled detection latency of a dead proxy daemon:
+// how long the first client request waits on the primary's shared-memory
+// queue before concluding the process is gone and re-enqueueing on the
+// standby. Subsequent requests go straight to the standby.
+const FailoverTimeout = 10 * sim.Microsecond
 
 // NewDaemon starts a proxy daemon in front of the given table. The daemon's
 // serving queue and bounce buffer live on the table's local machine, pinned
@@ -77,6 +93,29 @@ func NewDaemon(table *Table) (*Daemon, error) {
 // Table returns the connection table the daemon serves.
 func (d *Daemon) Table() *Table { return d.table }
 
+// SetStandby registers a standby daemon that takes over when this one is
+// modeled as dead (FailAt). Both daemons must front the same connection
+// table: the table — pooled QPs, tag state, recovery bookkeeping — is the
+// durable entity; the daemons are interchangeable serving processes.
+func (d *Daemon) SetStandby(s *Daemon) error {
+	if s == nil || s == d {
+		return fmt.Errorf("proxy: standby must be a distinct daemon")
+	}
+	if s.table != d.table {
+		return fmt.Errorf("proxy: standby daemon must serve the same table")
+	}
+	d.standby = s
+	return nil
+}
+
+// FailAt marks the daemon process dead from the given virtual time on:
+// every Post at or after it redirects to the standby (the first one paying
+// FailoverTimeout for detection), or fails outright if none is registered.
+func (d *Daemon) FailAt(t sim.Time) { d.failAt, d.armed = t, true }
+
+// Failovers reports how many requests were redirected to the standby.
+func (d *Daemon) Failovers() uint64 { return d.failovers }
+
 // IPC exposes the daemon's serving queue (for utilization reporting).
 func (d *Daemon) IPC() *sim.Resource { return d.ipc }
 
@@ -98,6 +137,18 @@ func (d *Daemon) Stats() (staged, direct int64) { return d.staged, d.direct }
 //
 // The caller's WR is not mutated; staged posts build a private copy.
 func (d *Daemon) Post(now sim.Time, conn int, wr *verbs.SendWR) (Delivery, error) {
+	if d.armed && now >= d.failAt {
+		if d.standby == nil {
+			return Delivery{}, fmt.Errorf("proxy: daemon dead at %v with no standby", now)
+		}
+		at := now
+		if !d.detected {
+			d.detected = true
+			at += FailoverTimeout
+		}
+		d.failovers++
+		return d.standby.Post(at, conn, wr)
+	}
 	svc := d.tp.AtomicBounce // dequeue + validate: one shared line touched
 	post := wr
 	if wr.Opcode == verbs.OpSend || wr.Opcode == verbs.OpWrite {

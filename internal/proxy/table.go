@@ -6,6 +6,7 @@ import (
 
 	"rdmasem/internal/cluster"
 	"rdmasem/internal/sim"
+	"rdmasem/internal/telemetry"
 	"rdmasem/internal/verbs"
 )
 
@@ -29,6 +30,13 @@ type Table struct {
 	// kernel is single threaded per shard, so one batch is in flight at most).
 	groups [][]int
 	seen   map[*verbs.SendWR]struct{}
+
+	// recovery state, nil/empty until EnableRecovery (see recovery.go).
+	rec      *RecoveryPolicy
+	recStats RecoveryStats
+	recQP    []poolRecState
+	ttr      *telemetry.Histogram // per-table TTR, always private
+	ttrReg   *telemetry.Histogram // mirrored registry stream, nil without -metrics
 }
 
 // connState is the table's view of one logical connection.
@@ -164,12 +172,16 @@ func (t *Table) unstamp(tag uint64) {
 //
 // Error semantics mirror verbs.QP.PostSend: a flushed or retry-exhausted WR
 // returns its completion (whose Status is authoritative) alongside
-// verbs.ErrQPError; validation errors return no delivery.
+// verbs.ErrQPError; validation errors return no delivery. With a recovery
+// policy armed (EnableRecovery) the QP-error path instead runs a recovery
+// episode: a successfully replayed WR returns its recovered completion and a
+// nil error, and verbs.ErrQPError only surfaces when recovery gave up.
 func (t *Table) Post(now sim.Time, conn int, wr *verbs.SendWR) (Delivery, error) {
 	if conn < 0 || conn >= len(t.conns) {
 		return Delivery{}, fmt.Errorf("proxy: connection %d out of range [0,%d)", conn, len(t.conns))
 	}
-	qp := t.pool[t.conns[conn].qp]
+	qi := t.connQP(now, conn)
+	qp := t.pool[qi]
 	userID := wr.ID
 	tag := t.stamp(conn, userID)
 	wr.ID = tag
@@ -178,6 +190,19 @@ func (t *Table) Post(now sim.Time, conn int, wr *verbs.SendWR) (Delivery, error)
 	if err != nil && !errors.Is(err, verbs.ErrQPError) {
 		t.unstamp(tag)
 		return Delivery{}, err
+	}
+	if err != nil && t.rec != nil {
+		dels, rerr := t.recover(comp.Done, qi, []verbs.Completion{comp})
+		if rerr != nil {
+			return Delivery{}, rerr
+		}
+		if len(dels) != 1 {
+			return Delivery{}, fmt.Errorf("proxy: recovery of one WR produced %d deliveries", len(dels))
+		}
+		if dels[0].Completion.Status != verbs.StatusOK {
+			return dels[0], verbs.ErrQPError
+		}
+		return dels[0], nil
 	}
 	del, derr := t.deliver(comp)
 	if derr != nil {
@@ -213,7 +238,8 @@ func (t *Table) PostBatch(now sim.Time, posts []ConnWR) ([]Delivery, error) {
 			return nil, fmt.Errorf("proxy: duplicate *SendWR in batch (connection %d)", p.Conn)
 		}
 		t.seen[p.WR] = struct{}{}
-		t.groups[t.conns[p.Conn].qp] = append(t.groups[t.conns[p.Conn].qp], i)
+		qi := t.connQP(now, p.Conn)
+		t.groups[qi] = append(t.groups[qi], i)
 	}
 
 	var out []Delivery
@@ -250,6 +276,38 @@ func (t *Table) PostBatch(now sim.Time, posts []ConnWR) ([]Delivery, error) {
 				out = append(out, del)
 			}
 			return out, err
+		}
+		if err != nil && t.rec != nil {
+			// Recovery episode for this group: deliver the OK prefix as
+			// usual, then hand the failed tail (whose tags are still
+			// pending, in failure order) to the recovery walk.
+			var failed []verbs.Completion
+			failAt := now
+			for _, c := range comps {
+				if c.Status == verbs.StatusOK {
+					del, derr := t.deliver(c)
+					if derr != nil {
+						return out, derr
+					}
+					out = append(out, del)
+					continue
+				}
+				failed = append(failed, c)
+				if c.Done > failAt {
+					failAt = c.Done
+				}
+			}
+			dels, rerr := t.recover(failAt, qi, failed)
+			if rerr != nil {
+				return out, rerr
+			}
+			for _, del := range dels {
+				if del.Completion.Status != verbs.StatusOK {
+					qpErr = verbs.ErrQPError
+				}
+				out = append(out, del)
+			}
+			continue
 		}
 		if err != nil {
 			qpErr = err

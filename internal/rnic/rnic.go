@@ -83,6 +83,7 @@ type RelCounters struct {
 	RetriesExhausted uint64 // WRs that errored out after the retry budget
 	FlushedWRs       uint64 // WRs flushed on an error-state QP
 	SilentDrops      uint64 // UC/UD messages lost with no recovery
+	Reconnects       uint64 // QPs cycled back to READY via Reconnect
 }
 
 // Rel returns the device's mutable reliability counters; the verbs layer

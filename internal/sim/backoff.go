@@ -1,0 +1,28 @@
+package sim
+
+// Backoff is a clamped exponential back-off walk: after a failed attempt,
+// wait Base, doubling up to Max. It is the one back-off shape the repository
+// uses — remote/local spinlocks (internal/core, Section III-E's Anderson
+// scheme) and the connection-recovery layer (internal/proxy) all walk the
+// same curve, so their retry behaviour stays comparable across experiments.
+type Backoff struct {
+	Base Duration
+	Max  Duration
+}
+
+// DefaultBackoff mirrors the paper's back-off counterpart curves: the cap
+// stays near one lock round trip so a free resource is re-probed promptly.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 500, Max: 4 * Microsecond}
+}
+
+// Next doubles the delay, clamped to Max: with a non-power-of-two cap (say
+// Base=500ns, Max=3µs) the sequence is 500, 1000, 2000, 3000, 3000, …
+// rather than overshooting to 4000.
+func (b Backoff) Next(delay Duration) Duration {
+	delay *= 2
+	if delay > b.Max {
+		delay = b.Max
+	}
+	return delay
+}

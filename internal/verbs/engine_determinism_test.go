@@ -35,21 +35,35 @@ type engineObservation struct {
 	table                      proxy.TableStats
 	srqPosted, srqHanded       uint64
 	daemonStaged, daemonDirect int64
+
+	// the flapping-link recovering pair (machines 10/11)
+	rtable   proxy.TableStats
+	rec      proxy.RecoveryStats
+	ttrCount int64
+	ttrSum   sim.Duration
 }
 
-// runEngineWorkload builds a fresh cluster under a seeded lossy fabric with
-// telemetry attached — four machine pairs of mixed RC WRITE/READ traffic
-// plus a fifth pair serving twelve logical connections through an SRQ, a
-// shared-pool connection table and a proxy daemon — drives it on the
-// sharded engine at the given worker count, and returns the full
-// observation.
+// runEngineWorkload builds a fresh cluster under a seeded lossy, flapping
+// fabric with telemetry attached — four machine pairs of mixed RC
+// WRITE/READ traffic, a fifth pair serving twelve logical connections
+// through an SRQ, a shared-pool connection table and a proxy daemon, and a
+// sixth pair whose pooled QPs die in flap windows and self-heal through the
+// table's recovery layer — drives it on the sharded engine at the given
+// worker count, and returns the full observation.
 func runEngineWorkload(t *testing.T, workers int) engineObservation {
 	t.Helper()
 	const pairs = 4
 	reg := telemetry.NewRegistry()
 	cfg := cluster.DefaultConfig()
-	cfg.Machines = 2*pairs + 2
-	cfg.Faults = &fabric.FaultPlan{Seed: 5, Drop: 0.01, Corrupt: 0.005, DelayP: 0.02, Delay: 2000}
+	cfg.Machines = 2*pairs + 4
+	// The plan flaps every link down for 4us of each 50us window on top of
+	// the random loss. The raw pairs ride it out on the default retry policy
+	// (16us base timeout: no two attempts land in one window); only the
+	// recovering pair below runs a budget tight enough to die and heal.
+	cfg.Faults = &fabric.FaultPlan{
+		Seed: 5, Drop: 0.01, Corrupt: 0.005, DelayP: 0.02, Delay: 2000,
+		FlapDown: 4 * sim.Microsecond, FlapPeriod: 50 * sim.Microsecond,
+	}
 	cfg.Telemetry = reg
 	cl, err := cluster.New(cfg)
 	if err != nil {
@@ -164,6 +178,63 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 		}, mc, md)
 	}
 
+	// Sixth pair: self-healing connections on the flapping fabric. Two
+	// pooled QPs with a hair-trigger retry budget serve four logical
+	// connections with full recovery (reconnect + remap) armed: QPs die
+	// inside down windows, episodes remap and replay across the pool, and
+	// the whole churn — episode counts, reconnect walks on the CM
+	// resources, TTR histograms — must merge identically at any width.
+	me, mf := cl.Machine(2*pairs+2), cl.Machine(2*pairs+3)
+	ctxE, ctxF := verbs.NewContext(me), verbs.NewContext(mf)
+	rpool := make([]*verbs.QP, 2)
+	for i := range rpool {
+		qp, _ := verbs.MustConnect(ctxE, 1, ctxF, 1, verbs.RC)
+		qp.SetRetryPolicy(verbs.RetryPolicy{
+			RetryCount: 1, RNRRetryCount: 1,
+			AckTimeout: 2 * sim.Microsecond, RNRTimer: 2 * sim.Microsecond,
+		})
+		rpool[i] = qp
+	}
+	rtable, err := proxy.NewTable(rpool, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtable.EnableRecovery(proxy.DefaultRecoveryPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	mrE := ctxE.MustRegisterMR(me.MustAlloc(1, 1<<20, 0))
+	mrF := ctxF.MustRegisterMR(mf.MustAlloc(1, 1<<20, 0))
+	for cli := 0; cli < 2; cli++ {
+		cli := cli
+		conns := []int{cli * 2, cli*2 + 1}
+		wr := &verbs.SendWR{
+			Opcode:     verbs.OpWrite,
+			SGL:        []verbs.SGE{{Addr: mrE.Addr() + mem.Addr(cli*256), Length: 64, MR: mrE}},
+			RemoteAddr: mrF.Addr() + mem.Addr(cli*256),
+			RemoteKey:  mrF.RKey(),
+		}
+		turn := 0
+		eng.Add(&sim.Client{
+			PostCost: 250, Window: 1,
+			Op: func(post sim.Time) sim.Time {
+				conn := conns[turn%len(conns)]
+				turn++
+				del, err := rtable.Post(post, conn, wr)
+				if err != nil && !errors.Is(err, verbs.ErrQPError) {
+					panic(err)
+				}
+				next := del.Completion.Done
+				if next < post {
+					next = post
+				}
+				if err != nil || del.Completion.Status != verbs.StatusOK {
+					next += 2 * sim.Microsecond // application-level retry pacing
+				}
+				return next
+			},
+		}, me, mf)
+	}
+
 	obs := engineObservation{res: eng.Run(500 * sim.Microsecond)}
 	cl.FoldTelemetry()
 	var buf bytes.Buffer
@@ -180,6 +251,9 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 	obs.table = table.Stats()
 	obs.srqPosted, obs.srqHanded = srq.Posted(), srq.Handed()
 	obs.daemonStaged, obs.daemonDirect = daemon.Stats()
+	obs.rtable = rtable.Stats()
+	obs.rec = rtable.RecoveryStats()
+	obs.ttrCount, obs.ttrSum, _, _ = rtable.RecoveryTTR().Stats()
 	return obs
 }
 
@@ -218,6 +292,15 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 	if want.daemonStaged == 0 {
 		t.Fatal("proxy daemon staged nothing")
 	}
+	if want.faults.FlapDrops == 0 {
+		t.Fatal("no flap drops: the link-flap model not exercised")
+	}
+	if want.rec.Episodes == 0 || want.rec.Reconnects == 0 || want.rec.Replayed == 0 {
+		t.Fatalf("recovering pair never recovered: %+v", want.rec)
+	}
+	if want.ttrCount == 0 {
+		t.Fatal("TTR histogram empty: no WR was recovered")
+	}
 	for _, workers := range []int{2, 4, 8} {
 		got := runEngineWorkload(t, workers)
 		if !reflect.DeepEqual(want.res, got.res) {
@@ -239,6 +322,11 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 			want.srqPosted != got.srqPosted || want.srqHanded != got.srqHanded ||
 			want.daemonStaged != got.daemonStaged || want.daemonDirect != got.daemonDirect {
 			t.Fatalf("workers=%d: connection-serving tallies diverged", workers)
+		}
+		if want.rtable != got.rtable || want.rec != got.rec ||
+			want.ttrCount != got.ttrCount || want.ttrSum != got.ttrSum {
+			t.Fatalf("workers=%d: recovery tallies diverged: %+v / %+v vs %+v / %+v",
+				workers, want.rec, want.ttrCount, got.rec, got.ttrCount)
 		}
 	}
 }

@@ -48,6 +48,15 @@ type qpState struct {
 	policy    RetryPolicy   // reliability knobs; only read on a faulty fabric
 	stats     QPStats       // reliability tally; all zero on a lossless fabric
 	scratch   opScratch     // per-QP freelists for the allocation-free hot path
+
+	// Connection-recovery state (see recovery.go). crashable is precomputed
+	// at construction so the hot path pays exactly one boolean test when the
+	// fault plan schedules no crashes.
+	crashable     bool          // fault plan has crash windows: check at post
+	logReplay     bool          // capture failed WRs for replay
+	replayLog     []replayEntry // failed WRs awaiting replay, in failure order
+	replayApplied bool          // transient: next WR replays an applied failure
+	failedApplied bool          // transient: last failed WR had applied effects
 }
 
 // opScratch holds the per-QP reusable buffers of the op-pipeline hot path.
@@ -136,6 +145,7 @@ func newQPState(ctx *Context, t Transport, port int, kind string) qpState {
 		sendCQ:    NewCQ(),
 		recvCQ:    NewCQ(),
 		policy:    DefaultRetryPolicy(),
+		crashable: ctx.machine.Fabric().Params().Faults.HasCrashes(),
 	}
 	if reg, tl := ctx.machine.Telemetry(), ctx.machine.Timeline(); reg != nil || tl != nil {
 		s.met = newStageMetrics(reg, tl, ctx.machine.Label(), ctx.machine.TimelinePID(), id, kind)
@@ -255,6 +265,12 @@ func remoteSpan(wr *SendWR) int {
 // The returned slices are backed by src's per-QP scratch pool: they remain
 // valid until the next post on the same QP (see opScratch).
 func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []bool, error) {
+	if src.crashable && src.state != StateError && src.ctx.machine.CrashedAt(now) {
+		// The posting machine is inside a crash window: its HCA is gone and
+		// every QP it owns is broken. The first post during the outage
+		// surfaces the crash as an error-state flush.
+		src.state = StateError
+	}
 	if src.state == StateError {
 		comps := src.scratch.comps[:0]
 		drops := src.scratch.drops[:0]
@@ -338,6 +354,11 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 func flushWR(src *qpState, at sim.Time, wr *SendWR) Completion {
 	src.stats.FlushedWRs++
 	src.ctx.machine.NIC().Rel().FlushedWRs++
+	// A flushed WR never reached the responder — unless it is itself a
+	// replayed applied failure flushed by a second connection loss, in which
+	// case the transient replay flag preserves its applied-ness in the log.
+	src.logFailed(wr, src.replayApplied)
+	src.replayApplied = false
 	cqe := src.sendCQ.push(CQE{WRID: wr.ID, Opcode: wr.Opcode, Time: at, Status: StatusFlushed})
 	return Completion{WRID: cqe.WRID, Opcode: cqe.Opcode, Done: cqe.Time, Status: cqe.Status}
 }
@@ -489,6 +510,7 @@ func executeOne(src, dst *qpState, t sim.Time, wr *SendWR) (Completion, bool, er
 			// Retry budget exhausted: the WR completes with an error CQE
 			// (always signaled, even if posted unsignaled) and the QP is
 			// now in the error state; postList flushes whatever follows.
+			src.logFailed(wr, src.failedApplied)
 			done += CQECost
 			cqe := src.sendCQ.push(CQE{WRID: wr.ID, Opcode: wr.Opcode, Time: done, Bytes: total, Status: status})
 			return Completion{WRID: cqe.WRID, Opcode: cqe.Opcode, Done: cqe.Time, Bytes: cqe.Bytes, Status: cqe.Status}, false, nil

@@ -109,16 +109,19 @@ const maxBackoffShift = 6
 // QPStats is the per-QP reliability tally. All fields are zero on a
 // lossless fabric.
 type QPStats struct {
-	SendPSN          uint64 // next packet sequence number to assign
-	ExpectedPSN      uint64 // next PSN the responder side expects
-	Segments         uint64 // segments placed on the wire, including retransmits
-	Retransmits      uint64 // segments re-sent by go-back-N recovery
-	AckTimeouts      uint64 // recovery rounds entered via timeout
-	NaksReceived     uint64 // go-back-N sequence NAKs received
-	RNRNaks          uint64 // receiver-not-ready NAKs received
-	RetriesExhausted uint64 // WRs that errored out after the retry budget
-	FlushedWRs       uint64 // WRs flushed because the QP was in error state
-	SilentDrops      uint64 // UC/UD messages lost on the wire with no recovery
+	SendPSN           uint64 // next packet sequence number to assign
+	ExpectedPSN       uint64 // next PSN the responder side expects
+	Segments          uint64 // segments placed on the wire, including retransmits
+	Retransmits       uint64 // segments re-sent by go-back-N recovery
+	AckTimeouts       uint64 // recovery rounds entered via timeout
+	NaksReceived      uint64 // go-back-N sequence NAKs received
+	RNRNaks           uint64 // receiver-not-ready NAKs received
+	RetriesExhausted  uint64 // WRs that errored out after the retry budget
+	FlushedWRs        uint64 // WRs flushed because the QP was in error state
+	SilentDrops       uint64 // UC/UD messages lost on the wire with no recovery
+	Reconnects        uint64 // successful Reconnect walks on this QP
+	ReconnectFailures uint64 // Reconnect walks that found a host still down
+	Replayed          uint64 // failed WRs reposted through Replay
 }
 
 // Stats returns the QP's reliability tally.
@@ -157,6 +160,7 @@ var relTelemetry struct {
 	rnrNaks     atomic.Uint64
 	exhausted   atomic.Uint64
 	silentDrops atomic.Uint64
+	reconnects  atomic.Uint64
 }
 
 // RelTelemetry is a snapshot of cross-cluster reliability totals.
@@ -168,6 +172,7 @@ type RelTelemetry struct {
 	RNRNaks          uint64
 	RetriesExhausted uint64
 	SilentDrops      uint64
+	Reconnects       uint64
 }
 
 // TakeRelTelemetry snapshots and zeroes the process-wide reliability totals.
@@ -180,6 +185,7 @@ func TakeRelTelemetry() RelTelemetry {
 		RNRNaks:          relTelemetry.rnrNaks.Swap(0),
 		RetriesExhausted: relTelemetry.exhausted.Swap(0),
 		SilentDrops:      relTelemetry.silentDrops.Swap(0),
+		Reconnects:       relTelemetry.reconnects.Swap(0),
 	}
 }
 
@@ -246,12 +252,17 @@ func executeReliable(src, dst *qpState, emit sim.Time, wr *SendWR, total, outbou
 	// Assign this message's PSN window.
 	src.stats.SendPSN += uint64(nseg)
 
-	attempts := 0         // recovery rounds consumed (NAK + timeout)
-	rnrAttempts := 0      // RNR recovery rounds consumed
-	consecTimeouts := 0   // consecutive timeout recoveries, drives backoff
-	firstUnacked := 0     // go-back-N resend point
-	round := 0            // transmission rounds completed
-	applied := false      // responder has executed the request
+	attempts := 0       // recovery rounds consumed (NAK + timeout)
+	rnrAttempts := 0    // RNR recovery rounds consumed
+	consecTimeouts := 0 // consecutive timeout recoveries, drives backoff
+	firstUnacked := 0   // go-back-N resend point
+	round := 0          // transmission rounds completed
+	// applied: the responder has executed the request. A replayed WR whose
+	// effects already landed before its connection died (see recovery.go)
+	// seeds this true, so the whole replay runs as a duplicate round — the
+	// responder regenerates its acknowledgement and never re-touches memory.
+	applied := src.replayApplied
+	src.replayApplied = false
 	var respDone sim.Time // responder completion-condition basis (ACK emission)
 	var old uint64
 
@@ -261,6 +272,8 @@ func executeReliable(src, dst *qpState, emit sim.Time, wr *SendWR, total, outbou
 		src.stats.RetriesExhausted++
 		nic.Rel().RetriesExhausted++
 		relTelemetry.exhausted.Add(1)
+		// Remember whether the effects landed, for exactly-once replay.
+		src.failedApplied = applied
 		return at, old, status, nil
 	}
 	timeout := func(last sim.Time) sim.Time {
