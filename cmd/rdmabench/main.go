@@ -93,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	qpPool := fs.Int("qp-pool", 0, "physical-QP pool width of qpsweep's pool/proxy modes (0 = default 64)")
 	faultFlap := fs.String("fault-flap", "", "availability flap sweep: comma-separated down/period pairs in ns (empty = default sweep)")
 	recoveryModes := fs.String("recovery-modes", "", "comma-separated availability recovery modes (none,reconnect,reconnect+remap); empty = all")
+	adaptive := fs.String("adaptive", "", "adaptive controller spec, e.g. epoch=20000,confirm=2,dwell=2,depth=16 (empty = scale-derived)")
 	metrics := fs.Bool("metrics", false, "print per-experiment telemetry (stage histograms, counters)")
 	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON of every op's stage walk to this file")
 	list := fs.Bool("list", false, "list experiment ids")
@@ -137,6 +138,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *recoveryModes != "" {
 		if err := bench.SetRecoveryModes(strings.Split(*recoveryModes, ",")); err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
+		}
+	}
+	if *adaptive != "" {
+		if err := bench.SetAdaptiveParams(*adaptive); err != nil {
 			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
 			return 2
 		}

@@ -34,6 +34,10 @@ func TestFlagValidation(t *testing.T) {
 		{"flap down >= period", []string{"-exp", "availability", "-fault-flap", "25000/25000"}, "needs 0 < down < period"},
 		{"unknown recovery mode", []string{"-exp", "availability", "-recovery-modes", "none,bogus"}, `unknown recovery mode "bogus"`},
 		{"bad crash spec", []string{"-exp", "fig1", "-faults", "seed=1,crash=0@5"}, "rdmabench"},
+		{"malformed adaptive spec", []string{"-exp", "adaptive", "-adaptive", "epoch"}, "is not key=value"},
+		{"adaptive value not a number", []string{"-exp", "adaptive", "-adaptive", "epoch=fast"}, `adaptive epoch="fast"`},
+		{"adaptive value not positive", []string{"-exp", "adaptive", "-adaptive", "dwell=0"}, "must be positive"},
+		{"unknown adaptive key", []string{"-exp", "adaptive", "-adaptive", "cadence=5"}, `unknown adaptive key "cadence"`},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -160,6 +164,28 @@ func TestAvailabilityKnobsSmoke(t *testing.T) {
 	}
 	if strings.Contains(out, "\nnone ") {
 		t.Fatalf("-recovery-modes leaked the excluded none mode into the table:\n%s", out)
+	}
+}
+
+// TestAdaptiveKnobSmoke runs the adaptive experiment end to end with an
+// explicit controller spec and checks the knob restores cleanly.
+func TestAdaptiveKnobSmoke(t *testing.T) {
+	t.Cleanup(func() {
+		if err := bench.SetAdaptiveParams(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "adaptive", "-scale", "0.02",
+		"-adaptive", "epoch=20000,confirm=2,dwell=2,depth=16"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== adaptive ==", "static-doorbell", "Controller decisions", "phases"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -430,3 +430,31 @@ func TestTable1Shape(t *testing.T) {
 		t.Fatal("table1 renders one table")
 	}
 }
+
+func TestAdaptiveShape(t *testing.T) {
+	r := mustRun(t, "adaptive", 0.05)
+	statics := []string{"static-sp", "static-doorbell", "static-sgl", "static-cons"}
+	best := func(w int) float64 {
+		b := 0.0
+		for _, s := range statics {
+			if y := yAt(t, r, 0, s, float64(w)); y > b {
+				b = y
+			}
+		}
+		return b
+	}
+	// Steady workloads: adaptive converges to within ~5% of the best
+	// static plan despite paying for its probe epochs.
+	for w, name := range adaptiveWorkloads[:3] {
+		ad, bs := yAt(t, r, 0, "adaptive", float64(w)), best(w)
+		if ad < bs*0.95 {
+			t.Errorf("%s: adaptive %.3f < 95%% of best static %.3f", name, ad, bs)
+		}
+	}
+	// The phase-changing workload: every static pin is wrong for at least
+	// one phase, so adaptive must strictly beat all of them.
+	ad, bs := yAt(t, r, 0, "adaptive", 3), best(3)
+	if ad <= bs {
+		t.Errorf("phases: adaptive %.3f must beat best static %.3f", ad, bs)
+	}
+}

@@ -34,7 +34,25 @@ type Consolidator struct {
 
 	flushes int64 // network writes issued
 	writes  int64 // logical writes absorbed
+
+	// Flush-reason breakdown: which trigger issued each network write. The
+	// adaptive controller reads these to tell "θ is doing the work" from
+	// "leases and evictions are draining blocks before they fill".
+	thetaFlushes int64
+	leaseFlushes int64
+	evictFlushes int64
+	forceFlushes int64
 }
+
+// flushReason labels which trigger retired a block.
+type flushReason int
+
+const (
+	flushTheta flushReason = iota // θ-th modification (Write or post-retune touch)
+	flushLease                    // lease deadline reached (Tick)
+	flushEvict                    // evicted to make room for a new block
+	flushForce                    // explicit Flush
+)
 
 type pendingBlock struct {
 	index    int   // block index within the remote region
@@ -108,11 +126,16 @@ func (c *Consolidator) Write(now sim.Time, off int, data []byte) (sim.Time, erro
 	pb := c.blocks[blk]
 	if pb == nil {
 		if len(c.slots) == 0 {
-			// Evict the oldest-deadline block to make room.
+			// Evict the oldest-deadline block to make room. The write that
+			// forces the eviction pays for the flush, exactly as the θ-th
+			// modification pays for a threshold flush — hiding it here would
+			// make a thrashing shadow look cheaper than the native path.
 			victim := c.oldest()
-			if _, err := c.flushBlock(now, victim); err != nil {
+			d, err := c.flushBlock(now, victim, flushEvict)
+			if err != nil {
 				return 0, err
 			}
+			now = d
 		}
 		slot := c.slots[len(c.slots)-1]
 		c.slots = c.slots[:len(c.slots)-1]
@@ -129,7 +152,7 @@ func (c *Consolidator) Write(now sim.Time, off int, data []byte) (sim.Time, erro
 	tp := c.qp.Context().Machine().Topology().Params
 	done := now + tp.MemcpyTime(len(data), false)
 	if pb.mods >= c.theta {
-		return c.flushBlock(done, pb)
+		return c.flushBlock(done, pb, flushTheta)
 	}
 	return done, nil
 }
@@ -143,7 +166,16 @@ func (c *Consolidator) Read(now sim.Time, off, size int, out []byte) (sim.Time, 
 	if pb := c.blocks[blk]; pb != nil && pb.dirty {
 		copy(out[:size], c.shadow(pb)[off%c.blockSize:])
 		tp := c.qp.Context().Machine().Topology().Params
-		return now + tp.MemcpyTime(size, false), nil
+		done := now + tp.MemcpyTime(size, false)
+		// A block already past θ flushes on this touch. Unreachable with a
+		// constant θ (Write flushes at the θ-th modification), but after a
+		// downward Retune a block can sit beyond the new threshold — it must
+		// not linger until its lease. The shadow was copied out first, so
+		// read-your-writes still holds.
+		if pb.mods >= c.theta {
+			return c.flushBlock(done, pb, flushTheta)
+		}
+		return done, nil
 	}
 	// Miss: one RDMA read of the requested extent into the scratch slot.
 	scratchAddr := c.localMR.Addr() + mem.Addr(c.scratchOff)
@@ -172,7 +204,7 @@ func (c *Consolidator) Tick(now sim.Time) (sim.Time, error) {
 	done := now
 	for _, pb := range c.snapshot() {
 		if pb.deadline <= now && pb.dirty {
-			d, err := c.flushBlock(now, pb)
+			d, err := c.flushBlock(now, pb, flushLease)
 			if err != nil {
 				return 0, err
 			}
@@ -188,7 +220,7 @@ func (c *Consolidator) Tick(now sim.Time) (sim.Time, error) {
 func (c *Consolidator) Flush(now sim.Time) (sim.Time, error) {
 	done := now
 	for _, pb := range c.snapshot() {
-		d, err := c.flushBlock(now, pb)
+		d, err := c.flushBlock(now, pb, flushForce)
 		if err != nil {
 			return 0, err
 		}
@@ -202,6 +234,53 @@ func (c *Consolidator) Flush(now sim.Time) (sim.Time, error) {
 // Stats reports absorbed writes vs issued network flushes; the ratio is the
 // consolidation factor Figure 8 sweeps.
 func (c *Consolidator) Stats() (writes, flushes int64) { return c.writes, c.flushes }
+
+// FlushBreakdown splits Stats' flush count by trigger: θ-threshold, lease
+// expiry, capacity eviction, and explicit Flush. θ-dominated flushing means
+// the threshold is earning its keep; lease/evict-dominated flushing means
+// blocks drain before they fill and θ should come down.
+func (c *Consolidator) FlushBreakdown() (theta, lease, evict, forced int64) {
+	return c.thetaFlushes, c.leaseFlushes, c.evictFlushes, c.forceFlushes
+}
+
+// Theta returns the live consolidation threshold.
+func (c *Consolidator) Theta() int { return c.theta }
+
+// Lease returns the live flush deadline for dirty blocks (0 = no lease).
+func (c *Consolidator) Lease() sim.Duration { return c.lease }
+
+// Retune changes θ and the lease mid-run. New blocks use the new settings;
+// pending blocks are reconciled rather than flushed wholesale:
+//
+//   - θ down: a block already at or past the new threshold flushes on its
+//     next touch (Write or Read) instead of waiting for its lease — the
+//     Write-path θ check alone would miss read-only touches.
+//   - θ up: pending blocks simply keep absorbing until the new, larger θ.
+//   - lease down: every pending deadline is clamped to now+lease (never
+//     extended past what the block was already promised).
+//   - lease up: pending deadlines stand — a retune must not retroactively
+//     weaken the durability bound older writes were absorbed under.
+//
+// Lease semantics are otherwise unchanged, including the Lease == 0 mode
+// where Tick is a no-op and eviction order is FIFO by creation.
+func (c *Consolidator) Retune(now sim.Time, theta int, lease sim.Duration) error {
+	if theta <= 0 {
+		return fmt.Errorf("core: retune theta must be positive, got %d", theta)
+	}
+	if lease < 0 {
+		return fmt.Errorf("core: retune lease must be non-negative, got %d", lease)
+	}
+	c.theta = theta
+	if lease < c.lease {
+		for _, pb := range c.blocks {
+			if pb.deadline > now+lease {
+				pb.deadline = now + lease
+			}
+		}
+	}
+	c.lease = lease
+	return nil
+}
 
 func (c *Consolidator) snapshot() []*pendingBlock {
 	out := make([]*pendingBlock, 0, len(c.blocks))
@@ -239,7 +318,7 @@ func (c *Consolidator) shadow(pb *pendingBlock) []byte {
 
 // flushBlock posts the single RDMA write covering the whole block and
 // retires it from the pending set.
-func (c *Consolidator) flushBlock(now sim.Time, pb *pendingBlock) (sim.Time, error) {
+func (c *Consolidator) flushBlock(now sim.Time, pb *pendingBlock, why flushReason) (sim.Time, error) {
 	if c.preFlush != nil {
 		t, err := c.preFlush(now, pb.index)
 		if err != nil {
@@ -258,6 +337,16 @@ func (c *Consolidator) flushBlock(now sim.Time, pb *pendingBlock) (sim.Time, err
 		return 0, err
 	}
 	c.flushes++
+	switch why {
+	case flushTheta:
+		c.thetaFlushes++
+	case flushLease:
+		c.leaseFlushes++
+	case flushEvict:
+		c.evictFlushes++
+	case flushForce:
+		c.forceFlushes++
+	}
 	delete(c.blocks, pb.index)
 	c.slots = append(c.slots, pb.slot)
 	done := comp.Done

@@ -73,6 +73,7 @@ type Batcher struct {
 	localMR  *verbs.MR
 	staging  *verbs.MR // SP staging buffer; nil for other strategies
 	remoteMR *verbs.MR
+	dbDepth  int // doorbell list cap; 0 = whole batch under one doorbell
 
 	// Reusable work-request scratch, rebuilt in place on every WriteBatch so
 	// closed-loop sweep drivers stay off the heap. The slices grow to the
@@ -98,6 +99,32 @@ func NewBatcher(s Strategy, qp *verbs.QP, localMR *verbs.MR, staging *verbs.MR, 
 
 // Strategy returns the batcher's configured strategy.
 func (b *Batcher) Strategy() Strategy { return b.strategy }
+
+// SetStrategy switches the batching mechanism mid-run; the next WriteBatch
+// uses it. Switching to SP requires the staging buffer the batcher was built
+// with — without one the call fails and the strategy is unchanged.
+func (b *Batcher) SetStrategy(s Strategy) error {
+	if s == SP && b.staging == nil {
+		return fmt.Errorf("core: SP strategy requires a staging buffer")
+	}
+	b.strategy = s
+	return nil
+}
+
+// DoorbellDepth returns the doorbell list cap (0 = unlimited).
+func (b *Batcher) DoorbellDepth() int { return b.dbDepth }
+
+// SetDoorbellDepth caps how many WRs ride one doorbell: a Doorbell-strategy
+// batch larger than depth is split into depth-sized lists, each ringing its
+// own doorbell (paying one extra MMIO per split but bounding how much work a
+// single posting parks in the send queue). 0 restores the unlimited default.
+func (b *Batcher) SetDoorbellDepth(depth int) error {
+	if depth < 0 {
+		return fmt.Errorf("core: doorbell depth must be non-negative, got %d", depth)
+	}
+	b.dbDepth = depth
+	return nil
+}
 
 // WriteBatch writes the fragments so that they land contiguously at
 // remoteAddr, using the configured strategy. It returns the completion of
@@ -189,12 +216,31 @@ func (b *Batcher) writeDoorbell(now sim.Time, frags []Fragment, remoteAddr mem.A
 		wrs[i] = &b.dbWR[i]
 		off += f.Length
 	}
-	cpu := sim.Duration(len(frags))*(WRBuildCost+SGEBuildCost) + PostCPUCost
-	comps, err := b.qp.PostSendList(now+cpu, wrs)
-	if err != nil {
-		return BatchResult{}, err
+	// The list is rung in depth-sized chunks (one doorbell each); the default
+	// depth 0 posts the whole batch under a single doorbell. The CPU builds
+	// each chunk's WRs and rings its doorbell before moving to the next, so
+	// chunk k posts at now plus the CPU time burned so far.
+	depth := b.dbDepth
+	if depth <= 0 || depth > n {
+		depth = n
 	}
-	return BatchResult{Done: comps[len(comps)-1].Done, CPU: cpu, Requests: len(frags)}, nil
+	var cpu sim.Duration
+	var done sim.Time
+	for start := 0; start < n; start += depth {
+		end := start + depth
+		if end > n {
+			end = n
+		}
+		cpu += sim.Duration(end-start)*(WRBuildCost+SGEBuildCost) + PostCPUCost
+		comps, err := b.qp.PostSendList(now+cpu, wrs[start:end])
+		if err != nil {
+			return BatchResult{}, err
+		}
+		if d := comps[len(comps)-1].Done; d > done {
+			done = d
+		}
+	}
+	return BatchResult{Done: done, CPU: cpu, Requests: n}, nil
 }
 
 // writeSGL posts one WR with one SGE per fragment.

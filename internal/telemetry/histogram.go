@@ -78,11 +78,15 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	// The extremes are recorded exactly; report them exactly. Without this a
+	// max sitting alone in its bucket reported the bucket floor instead (the
+	// interpolation fraction is 0 for a single-sample bucket, and the clamp
+	// below can only pull values down to max, never up to it).
+	if q <= 0 {
+		return sim.Duration(h.min)
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return sim.Duration(h.max)
 	}
 	rank := q * float64(h.count-1)
 	var cum float64
@@ -93,6 +97,18 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 		fn := float64(n)
 		if rank < cum+fn {
 			lo, hi := bucketBounds(i)
+			// The recorded extremes tighten the bucket's value range: the
+			// first non-empty bucket holds nothing below min, the last
+			// nothing above max (for every other bucket the bounds are
+			// already inside [min, max]). Interpolating over the tightened
+			// range keeps quantiles exact at the edges of the distribution
+			// instead of drifting toward the power-of-two bucket borders.
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
 			frac := 0.0
 			if fn > 1 {
 				frac = (rank - cum) / (fn - 1)

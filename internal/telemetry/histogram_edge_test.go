@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"testing"
+
+	"rdmasem/internal/sim"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v)=%v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(777)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 777 {
+			t.Fatalf("single-sample Quantile(%v)=%v, want 777", q, got)
+		}
+	}
+}
+
+// Regression: with observations {5, 20}, q=1 used to report 16 — the floor
+// of max's [16,31] bucket — because a single-sample bucket interpolates at
+// fraction 0 and the clamp can only pull down. The extremes are recorded
+// exactly and must be reported exactly.
+func TestQuantileExtremesExact(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(20)
+	if got := h.Quantile(0); got != 5 {
+		t.Fatalf("Quantile(0)=%v, want the recorded min 5", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1)=%v, want the recorded max 20", got)
+	}
+	// Out-of-range q clamps to the same extremes.
+	if got := h.Quantile(-0.5); got != 5 {
+		t.Fatalf("Quantile(-0.5)=%v, want 5", got)
+	}
+	if got := h.Quantile(2); got != 20 {
+		t.Fatalf("Quantile(2)=%v, want 20", got)
+	}
+}
+
+// In-bucket interpolation is exact at bucket boundaries: two samples sitting
+// on the edges of one power-of-two bucket are reproduced exactly at q=0 and
+// q=1, and the midpoint interpolates between the recorded extremes (not the
+// raw bucket bounds).
+func TestQuantileBucketBoundaryInterpolation(t *testing.T) {
+	var h Histogram
+	h.Observe(8)  // bucket [8,15] lower edge
+	h.Observe(15) // bucket [8,15] upper edge
+	if got := h.Quantile(0); got != 8 {
+		t.Fatalf("Quantile(0)=%v, want 8", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Fatalf("Quantile(1)=%v, want 15", got)
+	}
+	mid := h.Quantile(0.5)
+	if mid < 8 || mid > 15 {
+		t.Fatalf("Quantile(0.5)=%v outside the recorded range [8,15]", mid)
+	}
+
+	// Samples confined to the interior of a bucket must interpolate over
+	// [min,max], never stretch to the power-of-two bucket borders.
+	var g Histogram
+	g.Observe(10)
+	g.Observe(12)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := g.Quantile(q); v < 10 || v > 12 {
+			t.Fatalf("Quantile(%v)=%v escaped the recorded range [10,12]", q, v)
+		}
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1<<16; v *= 3 {
+		h.Observe(sim.Duration(v))
+	}
+	prev := sim.Duration(-1)
+	for i := 0; i <= 100; i++ {
+		q := float64(i) / 100
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	_, _, min, max := h.Stats()
+	if h.Quantile(0) != min || h.Quantile(1) != max {
+		t.Fatalf("extremes drifted: q0=%v min=%v, q1=%v max=%v",
+			h.Quantile(0), min, h.Quantile(1), max)
+	}
+}
+
+// Merge order must not change quantiles, including the exact extremes (the
+// property parallel sweep points rely on).
+func TestQuantileExtremesSurviveMerge(t *testing.T) {
+	var a, b, whole Histogram
+	a.Observe(5)
+	b.Observe(20)
+	whole.Observe(5)
+	whole.Observe(20)
+	var m Histogram
+	m.Merge(&b)
+	m.Merge(&a)
+	for _, q := range []float64{0, 0.5, 1} {
+		if m.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged Quantile(%v)=%v, whole=%v", q, m.Quantile(q), whole.Quantile(q))
+		}
+	}
+}

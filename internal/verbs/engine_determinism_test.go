@@ -9,7 +9,9 @@ import (
 	"reflect"
 	"testing"
 
+	"rdmasem/internal/adaptive"
 	"rdmasem/internal/cluster"
+	"rdmasem/internal/core"
 	"rdmasem/internal/fabric"
 	"rdmasem/internal/mem"
 	"rdmasem/internal/proxy"
@@ -41,21 +43,28 @@ type engineObservation struct {
 	rec      proxy.RecoveryStats
 	ttrCount int64
 	ttrSum   sim.Duration
+
+	// the adaptive-runtime pair (machines 12/13): the controller's entire
+	// decision log plus its overflow count and final knob tuple
+	decisions []adaptive.Record
+	dropped   int
+	final     adaptive.Record
 }
 
 // runEngineWorkload builds a fresh cluster under a seeded lossy, flapping
 // fabric with telemetry attached — four machine pairs of mixed RC
 // WRITE/READ traffic, a fifth pair serving twelve logical connections
-// through an SRQ, a shared-pool connection table and a proxy daemon, and a
+// through an SRQ, a shared-pool connection table and a proxy daemon, a
 // sixth pair whose pooled QPs die in flap windows and self-heal through the
-// table's recovery layer — drives it on the sharded engine at the given
-// worker count, and returns the full observation.
+// table's recovery layer, and a seventh pair routing mixed batch and small
+// writes through a live adaptive runtime — drives it on the sharded engine
+// at the given worker count, and returns the full observation.
 func runEngineWorkload(t *testing.T, workers int) engineObservation {
 	t.Helper()
 	const pairs = 4
 	reg := telemetry.NewRegistry()
 	cfg := cluster.DefaultConfig()
-	cfg.Machines = 2*pairs + 4
+	cfg.Machines = 2*pairs + 6
 	// The plan flaps every link down for 4us of each 50us window on top of
 	// the random loss. The raw pairs ride it out on the default retry policy
 	// (16us base timeout: no two attempts land in one window); only the
@@ -235,6 +244,50 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 		}, me, mf)
 	}
 
+	// Seventh pair: a live adaptive runtime on the same lossy, flapping
+	// fabric. The controller closes virtual-time epochs, probes batch
+	// strategies, and retunes the doorbell depth off this pair's completion
+	// errors — its whole decision log must be identical at any worker count.
+	mg, mh := cl.Machine(2*pairs+4), cl.Machine(2*pairs+5)
+	ctxG, ctxH := verbs.NewContext(mg), verbs.NewContext(mh)
+	qpG, _ := verbs.MustConnect(ctxG, 1, ctxH, 1, verbs.RC)
+	mrG := ctxG.MustRegisterMR(mg.MustAlloc(1, 1<<20, 0))
+	mrH := ctxH.MustRegisterMR(mh.MustAlloc(1, 1<<20, 0))
+	stG := ctxG.MustRegisterMR(mg.MustAlloc(1, 1<<18, 0))
+	rt, err := adaptive.NewRuntime(adaptive.Config{
+		QP: qpG, LocalMR: mrG, Staging: stG, RemoteMR: mrH, RemoteBase: mrH.Addr(),
+		BlockSize: 1024, Theta: 8, MaxBlocks: 8,
+		Params:   cluster.AdaptiveParams{Epoch: 10 * sim.Microsecond},
+		Strategy: core.SGL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frG := make([]core.Fragment, 8)
+	for i := range frG {
+		frG[i] = core.Fragment{Addr: mrG.Addr() + mem.Addr(1<<16+i*256), Length: 128}
+	}
+	smallG := bytes.Repeat([]byte{0x5a}, 48)
+	aTurn := 0
+	eng.Add(&sim.Client{
+		PostCost: 200, Window: 1,
+		Op: func(post sim.Time) sim.Time {
+			aTurn++
+			if aTurn%3 == 0 {
+				done, err := rt.SmallWrite(post, (aTurn%16)*48, smallG)
+				if err != nil {
+					panic(err)
+				}
+				return done
+			}
+			res, err := rt.WriteBatch(post, frG, mrH.Addr()+mem.Addr(1<<18))
+			if err != nil {
+				panic(err)
+			}
+			return res.Done
+		},
+	}, mg, mh)
+
 	obs := engineObservation{res: eng.Run(500 * sim.Microsecond)}
 	cl.FoldTelemetry()
 	var buf bytes.Buffer
@@ -254,6 +307,10 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 	obs.rtable = rtable.Stats()
 	obs.rec = rtable.RecoveryStats()
 	obs.ttrCount, obs.ttrSum, _, _ = rtable.RecoveryTTR().Stats()
+	ctrl := rt.Controller()
+	obs.decisions = ctrl.Records()
+	obs.dropped = ctrl.DroppedRecords()
+	obs.final = ctrl.Decision()
 	return obs
 }
 
@@ -261,8 +318,9 @@ func runEngineWorkload(t *testing.T, workers int) engineObservation {
 // the sharded kernel promises: on a lossy fabric with telemetry attached,
 // every observable — closed-loop results with latency records, telemetry
 // snapshots, NIC stage and reliability counters, fault tallies, every
-// endpoint's fabric-boundary merge witness, and the SRQ/connection-table/
-// proxy-daemon tallies — is identical at workers 1, 2, 4 and 8.
+// endpoint's fabric-boundary merge witness, the SRQ/connection-table/
+// proxy-daemon tallies, and the adaptive controller's decision log — is
+// identical at workers 1, 2, 4 and 8.
 func TestEngineWorkerCountDeterminism(t *testing.T) {
 	want := runEngineWorkload(t, 1)
 	if want.res.Completed == 0 {
@@ -301,6 +359,9 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 	if want.ttrCount == 0 {
 		t.Fatal("TTR histogram empty: no WR was recovered")
 	}
+	if len(want.decisions) == 0 {
+		t.Fatal("adaptive controller made no decisions: the tuner was not exercised")
+	}
 	for _, workers := range []int{2, 4, 8} {
 		got := runEngineWorkload(t, workers)
 		if !reflect.DeepEqual(want.res, got.res) {
@@ -327,6 +388,11 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 			want.ttrCount != got.ttrCount || want.ttrSum != got.ttrSum {
 			t.Fatalf("workers=%d: recovery tallies diverged: %+v / %+v vs %+v / %+v",
 				workers, want.rec, want.ttrCount, got.rec, got.ttrCount)
+		}
+		if !reflect.DeepEqual(want.decisions, got.decisions) ||
+			want.dropped != got.dropped || want.final != got.final {
+			t.Fatalf("workers=%d: adaptive decision logs diverged:\n%+v\nvs\n%+v",
+				workers, want.decisions, got.decisions)
 		}
 	}
 }

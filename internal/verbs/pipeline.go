@@ -28,6 +28,17 @@ type StageObserver interface {
 	ObserveStage(s Stage, at sim.Time)
 }
 
+// PostObserver receives one notification per doorbell list after the list
+// finishes executing: the posting time, the list's WR count and total payload
+// bytes, and the completion time of its last WR. Like StageObserver it is
+// strictly passive — it must not mutate simulation state, and the walk's
+// timing and allocations are identical with or without one attached. This is
+// the measurement feed the adaptive per-QP controllers hang off the post
+// path.
+type PostObserver interface {
+	ObservePost(post sim.Time, wrs, bytes int, done sim.Time)
+}
+
 // qpState is the queue-pair state shared by connected (QP) and datagram
 // (UDQP) queue pairs: identity, port/core binding, the per-QP processing
 // pipeline, the completion/receive queues, and the attached stage observer.
@@ -43,6 +54,7 @@ type qpState struct {
 	recvQ     []RecvWR
 	srq       *SRQ          // shared receive queue; inbound SENDs drain it instead of recvQ
 	obs       StageObserver // active stage listener, else nil
+	post      PostObserver  // per-post listener (adaptive controller), else nil
 	met       *stageMetrics // telemetry bridge, else nil (cluster had no registry/timeline)
 	state     State         // READY until reliability retries exhaust (or ForceError)
 	policy    RetryPolicy   // reliability knobs; only read on a faulty fabric
@@ -191,6 +203,11 @@ func (s *qpState) metEnd(at sim.Time) {
 // detached; it has no effect on timing.
 func (s *qpState) SetStageObserver(o StageObserver) { s.obs = o }
 
+// SetPostObserver attaches (or, with nil, detaches) a per-post listener. The
+// observer sees every successfully executed doorbell list posted on this QP
+// until detached; it has no effect on timing.
+func (s *qpState) SetPostObserver(o PostObserver) { s.post = o }
+
 // ID returns the QP number.
 func (s *qpState) ID() uint64 { return s.id }
 
@@ -288,12 +305,16 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 	}
 	nic := src.ctx.machine.NIC()
 	inlineBytes := 0
+	totalBytes := 0
 	allInline := true
 	for _, wr := range wrs {
 		if wr.Inline {
 			inlineBytes += wr.TotalLength()
 		} else {
 			allInline = false
+		}
+		if src.post != nil {
+			totalBytes += wr.TotalLength()
 		}
 	}
 	// The first WR of the list owns the list-shared stages (doorbell MMIO,
@@ -344,6 +365,9 @@ func postList(src, dst *qpState, now sim.Time, wrs []*SendWR) ([]Completion, []b
 			}
 			return comps, drops, ErrQPError
 		}
+	}
+	if src.post != nil && len(comps) > 0 {
+		src.post.ObservePost(now, len(wrs), totalBytes, comps[len(comps)-1].Done)
 	}
 	return comps, drops, nil
 }
