@@ -57,6 +57,10 @@
 // sweep: the link-flap intensities to sweep (comma-separated down/period
 // pairs in nanoseconds, e.g. 2000/25000,12000/25000) and which recovery
 // strategies to compare (none, reconnect, reconnect+remap).
+//
+// -txn-conflicts parameterizes the transactional-KV conflict sweep: the
+// swept share of transactions aimed at the hot key set, as strictly
+// ascending percentages (e.g. 0,50,100).
 package main
 
 import (
@@ -94,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultFlap := fs.String("fault-flap", "", "availability flap sweep: comma-separated down/period pairs in ns (empty = default sweep)")
 	recoveryModes := fs.String("recovery-modes", "", "comma-separated availability recovery modes (none,reconnect,reconnect+remap); empty = all")
 	adaptive := fs.String("adaptive", "", "adaptive controller spec, e.g. epoch=20000,confirm=2,dwell=2,depth=16 (empty = scale-derived)")
+	txnConflicts := fs.String("txn-conflicts", "", "txn conflict sweep: ascending percentages in [0,100], e.g. 0,50,100 (empty = default sweep)")
 	metrics := fs.Bool("metrics", false, "print per-experiment telemetry (stage histograms, counters)")
 	timeline := fs.String("timeline", "", "write a Chrome trace_event JSON of every op's stage walk to this file")
 	list := fs.Bool("list", false, "list experiment ids")
@@ -144,6 +149,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *adaptive != "" {
 		if err := bench.SetAdaptiveParams(*adaptive); err != nil {
+			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
+			return 2
+		}
+	}
+	if *txnConflicts != "" {
+		if err := bench.SetTxnConflicts(*txnConflicts); err != nil {
 			fmt.Fprintf(stderr, "rdmabench: %v\n", err)
 			return 2
 		}

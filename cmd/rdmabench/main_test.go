@@ -38,6 +38,9 @@ func TestFlagValidation(t *testing.T) {
 		{"adaptive value not a number", []string{"-exp", "adaptive", "-adaptive", "epoch=fast"}, `adaptive epoch="fast"`},
 		{"adaptive value not positive", []string{"-exp", "adaptive", "-adaptive", "dwell=0"}, "must be positive"},
 		{"unknown adaptive key", []string{"-exp", "adaptive", "-adaptive", "cadence=5"}, `unknown adaptive key "cadence"`},
+		{"txn conflict not a number", []string{"-exp", "txn", "-txn-conflicts", "0,hot"}, `conflict share "hot"`},
+		{"txn conflict above 100", []string{"-exp", "txn", "-txn-conflicts", "0,150"}, "outside [0,100]"},
+		{"txn conflicts not ascending", []string{"-exp", "txn", "-txn-conflicts", "50,50"}, "strictly ascending"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -186,6 +189,31 @@ func TestAdaptiveKnobSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTxnKnobSmoke runs the transactional-KV conflict sweep end to end with
+// a restricted conflict schedule and checks the knob restores cleanly.
+func TestTxnKnobSmoke(t *testing.T) {
+	t.Cleanup(func() {
+		if err := bench.SetTxnConflicts(""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "txn", "-scale", "0.02",
+		"-txn-conflicts", "0,100"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== txn ==", "lossless", "lossy", "abort rate vs conflict share", "Conflict share 100%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\n25 ") || strings.Contains(out, "\n50 ") {
+		t.Fatalf("-txn-conflicts 0,100 leaked excluded sweep points into output:\n%s", out)
 	}
 }
 

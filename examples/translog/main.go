@@ -76,7 +76,10 @@ func run(w io.Writer, horizon sim.Duration) error {
 		fmt.Fprintf(w, "%-8d %11.2f  (%.1fx)\n", batch, mops, mops/first)
 
 		// Verify the head of the log: dense sequence, intact records.
-		head := l.Head()
+		head, err := l.Head()
+		if err != nil {
+			return err
+		}
 		for seq := uint64(0); seq < head && seq < 1024; seq++ {
 			rec, err := l.Record(seq)
 			if err != nil {

@@ -76,16 +76,18 @@ func (l *Log) Record(seq uint64) ([]byte, error) {
 }
 
 // Head reads the current sequence counter (reservations handed out so far).
-func (l *Log) Head() uint64 {
+// A failed read propagates: silently reporting head 0 would make a recovery
+// replay conclude the log is empty.
+func (l *Log) Head() (uint64, error) {
 	var b [8]byte
 	if err := l.ctx.Machine().Space().ReadAt(l.seqMR.Addr(), b[:]); err != nil {
-		return 0
+		return 0, fmt.Errorf("dlog: reading sequence counter: %w", err)
 	}
 	var v uint64
 	for i := 0; i < 8; i++ {
 		v |= uint64(b[i]) << (8 * i)
 	}
-	return v
+	return v, nil
 }
 
 // Engine is one transaction engine appending records to the global log.
@@ -106,7 +108,17 @@ type Engine struct {
 
 	appends int64
 	cpu     sim.Duration
+
+	// payWR and paySGL are reused across AppendPayload posts so the
+	// transactional redo-append path stays allocation-free.
+	payWR  verbs.SendWR
+	paySGL [1]verbs.SGE
 }
+
+// SetRetryPolicy applies a reliability configuration to the engine's QP;
+// fault scenarios tighten the budget so a dead log host surfaces within the
+// test horizon.
+func (e *Engine) SetRetryPolicy(p verbs.RetryPolicy) { e.qp.SetRetryPolicy(p) }
 
 // NewEngine creates a transaction engine on the machine's socket.
 func NewEngine(id int, m *cluster.Machine, socket topo.SocketID, l *Log) (*Engine, error) {
@@ -144,6 +156,17 @@ func NewEngine(id int, m *cluster.Machine, socket topo.SocketID, l *Log) (*Engin
 	return e, nil
 }
 
+// slotFor maps a sequence number to its record-aligned home slot in a data
+// table. The wrap is by whole record index: the earlier byte-level modulus
+// ((seqNo*RecordSize) % (size-RecordSize)) is only record-aligned when
+// RecordSize happens to divide the modulus (true for the default 64 B,
+// false in general), so a wrapped record would shear across two live
+// neighbouring slots.
+func (e *Engine) slotFor(seqNo uint64, table *verbs.MR) int {
+	slots := uint64(table.Region().Size() / e.cfg.RecordSize)
+	return int(seqNo%slots) * e.cfg.RecordSize
+}
+
 // AppendBatch reserves Batch consecutive slots and writes Batch records in
 // one SGL write. Records alternate between the engine's two data tables
 // (modeling transactions touching both sockets) and are stamped with their
@@ -168,7 +191,7 @@ func (e *Engine) AppendBatch(now sim.Time) (uint64, sim.Time, error) {
 	for i := 0; i < cfg.Batch; i++ {
 		seqNo := first + uint64(i)
 		table := e.tables[i%len(e.tables)]
-		slot := (int(seqNo) * cfg.RecordSize) % (table.Region().Size() - cfg.RecordSize)
+		slot := e.slotFor(seqNo, table)
 		rec := table.Region().Bytes()[slot : slot+cfg.RecordSize]
 		workload.FillValue(rec, seqNo)
 		cross := table.Region().Socket() != e.socket
@@ -203,6 +226,73 @@ func (e *Engine) AppendBatch(now sim.Time) (uint64, sim.Time, error) {
 	if err != nil {
 		// The reserved extent stays unfilled; readers must stop at the
 		// last successfully appended record.
+		return 0, 0, fmt.Errorf("dlog: append of batch at %d failed: %w", first, err)
+	}
+	e.appends++
+	return first, comp.Done, nil
+}
+
+// AppendPayload reserves len(payloads) consecutive slots and writes the
+// caller's records into the reserved extent in one SGL write — the
+// redo-append primitive of the transactional dataplane (internal/txn).
+// Records are staged contiguously through the engine's NUMA-friendly
+// buffer (an SP-style CPU copy per record); each payload must fit a record
+// and shorter payloads are zero-padded. The WR, scatter list and staging
+// area are all reused, so the commit hot path stays allocation-free. It
+// returns the first reserved sequence number and the completion time.
+func (e *Engine) AppendPayload(now sim.Time, payloads [][]byte) (uint64, sim.Time, error) {
+	cfg := e.cfg
+	n := len(payloads)
+	if n == 0 {
+		return 0, now, nil
+	}
+	if n*cfg.RecordSize > e.staging.Region().Size() {
+		return 0, 0, fmt.Errorf("dlog: payload batch of %d records exceeds the staging buffer", n)
+	}
+	tp := e.qp.Context().Machine().Topology().Params
+
+	// Stage 1: reserve space (remote sequencer).
+	first, t, err := e.seq.Next(now, uint64(n))
+	if err != nil {
+		return 0, 0, err
+	}
+	if (int(first)+n)*cfg.RecordSize > cfg.LogBytes {
+		return 0, 0, fmt.Errorf("dlog: log full at sequence %d", first)
+	}
+
+	// Stage 2: stage the records contiguously on the engine's socket.
+	dst := e.staging.Region().Bytes()
+	off := 0
+	for _, p := range payloads {
+		if len(p) > cfg.RecordSize {
+			return 0, 0, fmt.Errorf("dlog: payload of %d bytes exceeds the record size %d", len(p), cfg.RecordSize)
+		}
+		copy(dst[off:], p)
+		for i := off + len(p); i < off+cfg.RecordSize; i++ {
+			dst[i] = 0
+		}
+		c := tp.MemcpyTime(cfg.RecordSize, true)
+		e.cpu += c
+		t += c
+		off += cfg.RecordSize
+	}
+
+	// Stage 3: one write into the reserved extent.
+	e.cpu += core.WRBuildCost + core.SGEBuildCost + core.PostCPUCost
+	e.paySGL[0] = verbs.SGE{Addr: e.staging.Addr(), Length: off, MR: e.staging}
+	e.payWR = verbs.SendWR{
+		Opcode:     verbs.OpWrite,
+		SGL:        e.paySGL[:],
+		RemoteAddr: e.log.logMR.Addr() + mem.Addr(int(first)*cfg.RecordSize),
+		RemoteKey:  e.log.logMR.RKey(),
+	}
+	comp, err := e.qp.PostSend(t, &e.payWR)
+	if err == nil {
+		err = comp.Err()
+	}
+	if err != nil {
+		// The reserved extent stays unfilled; the txn layer treats this as
+		// an abort before the commit point.
 		return 0, 0, fmt.Errorf("dlog: append of batch at %d failed: %w", first, err)
 	}
 	e.appends++

@@ -1,6 +1,7 @@
 package dlog
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -19,6 +20,15 @@ func newCluster(t *testing.T, machines int) *cluster.Cluster {
 		t.Fatal(err)
 	}
 	return cl
+}
+
+func mustHead(t *testing.T, l *Log) uint64 {
+	t.Helper()
+	h, err := l.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 func TestValidation(t *testing.T) {
@@ -59,8 +69,8 @@ func TestAppendRoundTrip(t *testing.T) {
 			t.Fatalf("record %d corrupt", i)
 		}
 	}
-	if l.Head() != 4 {
-		t.Fatalf("head=%d, want 4", l.Head())
+	if h := mustHead(t, l); h != 4 {
+		t.Fatalf("head=%d, want 4", h)
 	}
 }
 
@@ -103,8 +113,8 @@ func TestConcurrentEnginesNeverOverlap(t *testing.T) {
 		t.Fatalf("reservations=%d, want %d", len(reserved), engines*20)
 	}
 	// Reservations must tile [0, head) in steps of Batch.
-	if l.Head() != uint64(engines*20*8) {
-		t.Fatalf("head=%d, want %d", l.Head(), engines*20*8)
+	if h := mustHead(t, l); h != uint64(engines*20*8) {
+		t.Fatalf("head=%d, want %d", h, engines*20*8)
 	}
 	for first := range reserved {
 		if first%8 != 0 {
@@ -250,7 +260,7 @@ func TestReaderReplaysIntactAndInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	var seqs []uint64
-	done, err := rd.Replay(now, 0, l.Head(), func(seq uint64, rec []byte) error {
+	done, err := rd.Replay(now, 0, mustHead(t, l), func(seq uint64, rec []byte) error {
 		if !workload.CheckValue(rec, seq) {
 			t.Fatalf("record %d corrupt during replay", seq)
 		}
@@ -307,7 +317,7 @@ func TestReaderBatchingFewerReadsIsFaster(t *testing.T) {
 			t.Fatal(err)
 		}
 		base := now + sim.Millisecond
-		done, err := rd.Replay(base, 0, l.Head(), func(uint64, []byte) error { return nil })
+		done, err := rd.Replay(base, 0, mustHead(t, l), func(uint64, []byte) error { return nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,5 +327,177 @@ func TestReaderBatchingFewerReadsIsFaster(t *testing.T) {
 	sixteen := scan(16)
 	if sixteen >= one/4 {
 		t.Fatalf("batched replay (%v) should be far faster than record-at-a-time (%v)", sixteen, one)
+	}
+}
+
+// Regression: the data-table wrap must be by whole record index. The old
+// byte-level modulus ((seqNo*RecordSize) % (size-RecordSize)) is only
+// record-aligned when RecordSize divides the modulus — true for the default
+// 64 B, false for 96 B — so a wrapped record sheared across two neighbouring
+// slot homes.
+func TestSlotWraparoundRecordAligned(t *testing.T) {
+	cl := newCluster(t, 2)
+	cfg := DefaultConfig()
+	cfg.RecordSize = 96
+	cfg.LogBytes = 4 << 20
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(0, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := e.tables[0]
+	slots := table.Region().Size() / cfg.RecordSize // 1 MiB / 96 = 10922
+	for _, seq := range []uint64{0, 1, uint64(slots) - 1, uint64(slots), uint64(slots) + 1, 2 * uint64(slots), 123456789} {
+		slot := e.slotFor(seq, table)
+		if slot%cfg.RecordSize != 0 {
+			t.Fatalf("seq %d: slot %d not record-aligned", seq, slot)
+		}
+		if slot+cfg.RecordSize > table.Region().Size() {
+			t.Fatalf("seq %d: slot %d runs past the table", seq, slot)
+		}
+	}
+	// Two sequence numbers map either to the same whole slot or to disjoint
+	// extents — never to a partial overlap (the old formula mapped seq
+	// 10922 to byte 32, shearing the homes of seqs 0 and 1).
+	a, b := e.slotFor(uint64(slots), table), e.slotFor(0, table)
+	if a != b {
+		t.Fatalf("wrap must reuse slot homes exactly: slotFor(%d)=%d, slotFor(0)=%d", slots, a, b)
+	}
+	if d := e.slotFor(uint64(slots)+1, table) - e.slotFor(1, table); d != 0 {
+		t.Fatalf("second wrapped slot drifted by %d bytes", d)
+	}
+}
+
+// End-to-end wraparound at RecordSize 96: append past the table capacity and
+// verify both the log extent and the invariant that every slot home holds a
+// complete record for the last sequence number that owned it.
+func TestAppendWraparoundNonDefaultRecordSize(t *testing.T) {
+	cl := newCluster(t, 2)
+	cfg := DefaultConfig()
+	cfg.RecordSize = 96
+	cfg.Batch = 1
+	cfg.LogBytes = 4 << 20
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(0, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := e.tables[0] // Batch 1 always materializes in table 0
+	slots := uint64(table.Region().Size() / cfg.RecordSize)
+	total := slots + 8 // a few records past the wrap
+	now := sim.Time(0)
+	for i := uint64(0); i < total; i++ {
+		_, d, err := e.AppendBatch(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	if h := mustHead(t, l); h != total {
+		t.Fatalf("head=%d, want %d", h, total)
+	}
+	// The gathered log records are intact across the wrap.
+	for seq := total - 8; seq < total; seq++ {
+		rec, err := l.Record(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !workload.CheckValue(rec, seq) {
+			t.Fatalf("log record %d corrupt across the wrap", seq)
+		}
+	}
+	// The wrapped records reclaimed the first slot homes whole: each home
+	// holds exactly its latest owner's record, with no shear into the
+	// neighbouring slot.
+	for i := uint64(0); i < 8; i++ {
+		seq := slots + i // latest owner of slot home i
+		home := table.Region().Bytes()[e.slotFor(seq, table) : e.slotFor(seq, table)+cfg.RecordSize]
+		if !workload.CheckValue(home, seq) {
+			t.Fatalf("slot home %d sheared after the wrap (owner seq %d)", i, seq)
+		}
+	}
+	// And the un-wrapped neighbour is untouched.
+	seq := uint64(8)
+	home := table.Region().Bytes()[e.slotFor(seq, table) : e.slotFor(seq, table)+cfg.RecordSize]
+	if !workload.CheckValue(home, seq) {
+		t.Fatalf("slot home 8 corrupted by the wrap")
+	}
+}
+
+// AppendPayload is the redo-append primitive of the txn layer: caller bytes,
+// zero-padded to a record, land in a reserved extent in one write.
+func TestAppendPayload(t *testing.T) {
+	cl := newCluster(t, 2)
+	cfg := DefaultConfig()
+	cfg.RecordSize = 96
+	l, err := NewLog(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(0, cl.Machine(1), 1, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]byte, 96)
+	p1 := make([]byte, 40) // short: must be zero-padded
+	workload.FillValue(p0, 900)
+	workload.FillValue(p1, 901)
+	first, done, err := e.AppendPayload(0, [][]byte{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 || done <= 0 {
+		t.Fatalf("first=%d done=%v", first, done)
+	}
+	r0, err := l.Record(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r0, p0) {
+		t.Fatal("payload 0 not durable")
+	}
+	r1, err := l.Record(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1[:40], p1) {
+		t.Fatal("payload 1 not durable")
+	}
+	for _, b := range r1[40:] {
+		if b != 0 {
+			t.Fatal("short payload not zero-padded")
+		}
+	}
+	if h := mustHead(t, l); h != 2 {
+		t.Fatalf("head=%d, want 2", h)
+	}
+	// Appends interleave with AppendBatch through the same sequencer.
+	bf, _, err := e.AppendBatch(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf != 2 {
+		t.Fatalf("batch reservation=%d, want 2", bf)
+	}
+	// Validation: oversized payloads and oversized batches are rejected;
+	// the empty batch is a no-op.
+	if _, _, err := e.AppendPayload(0, [][]byte{make([]byte, 97)}); err == nil {
+		t.Fatal("oversized payload must fail")
+	}
+	huge := make([][]byte, e.staging.Region().Size()/cfg.RecordSize+1)
+	for i := range huge {
+		huge[i] = p1
+	}
+	if _, _, err := e.AppendPayload(0, huge); err == nil {
+		t.Fatal("batch beyond the staging buffer must fail")
+	}
+	if _, d, err := e.AppendPayload(7, nil); err != nil || d != 7 {
+		t.Fatalf("empty append: d=%v err=%v", d, err)
 	}
 }

@@ -93,10 +93,10 @@ func NewBackend(m *cluster.Machine, cfg Config) (*Backend, error) {
 	}
 	b := &Backend{cfg: cfg, ctx: verbs.NewContext(m), hotIndex: make(map[uint64]hotSlot)}
 	sockets := m.Topology().Sockets()
-	perSocket := int(cfg.KeySpace) / sockets
-	if perSocket == 0 {
-		perSocket = int(cfg.KeySpace)
-	}
+	// Round up so every reduced key has a slot even when the key space does
+	// not divide evenly over the sockets (keys interleave: socket k%sockets,
+	// index k/sockets, so the last socket may hold one entry fewer).
+	perSocket := (int(cfg.KeySpace) + sockets - 1) / sockets
 	for s := 0; s < sockets; s++ {
 		r, err := m.Alloc(topo.SocketID(s), perSocket*cfg.entrySize(), 0)
 		if err != nil {
@@ -152,12 +152,15 @@ func (b *Backend) Context() *verbs.Context { return b.ctx }
 // Machine returns the back-end host.
 func (b *Backend) Machine() *cluster.Machine { return b.ctx.Machine() }
 
-// coldLocation returns the MR and address of a cold entry slot.
+// coldLocation returns the MR and address of a cold entry slot. The key is
+// reduced mod KeySpace first — the same reduction versionAddr applies — so a
+// slot and its version word always describe the same logical key, for any
+// key and any KeySpace/sockets ratio.
 func (b *Backend) coldLocation(key uint64) (*verbs.MR, mem.Addr) {
-	sockets := len(b.tables)
-	perSocket := uint64(b.tables[0].Region().Size() / b.cfg.entrySize())
-	s := int(key % uint64(sockets)) // interleave keys over sockets
-	idx := (key / uint64(sockets)) % perSocket
+	sockets := uint64(len(b.tables))
+	k := key % b.cfg.KeySpace
+	s := k % sockets // interleave keys over sockets
+	idx := k / sockets
 	mr := b.tables[s]
 	return mr, mr.Addr() + mem.Addr(idx*uint64(b.cfg.entrySize()))
 }
@@ -217,6 +220,8 @@ type FrontEnd struct {
 	consMRs   []*verbs.MR
 	locks     []*core.RemoteLock
 	entryTmp  []byte
+	readTmp   []byte      // Get staging: reused so the hot path stays alloc-free
+	rdSGL     []verbs.SGE // cold Get scatter list, reused per op
 	hotHits   int64
 	coldPaths int64
 
@@ -234,8 +239,28 @@ type FrontEnd struct {
 // epochSpan is the number of cold writes one epoch reservation covers.
 const epochSpan = 64
 
+// The front-end staging MR is a fixed 4 KiB, carved into regions: atomic
+// results at 0, entry assembly at 16, lock scratch at 512, cold-read staging
+// at coldReadOff. An entry must fit between coldReadOff and the end of the
+// MR or the cold Get would post an SGE past the registered region.
+const (
+	scratchSize = 4096
+	coldReadOff = 1024
+)
+
+// ErrValueTooLarge reports a value size whose entry no longer fits the
+// front-end's fixed scratch MR.
+var ErrValueTooLarge = fmt.Errorf("hashtable: value too large for the %d-byte scratch MR", scratchSize)
+
+// MaxValueSize is the largest ValueSize a front-end can serve: the entry
+// staged at coldReadOff must end within the scratch MR.
+const MaxValueSize = scratchSize - coldReadOff - 16
+
 // NewFrontEnd creates a front-end on the given machine socket.
 func NewFrontEnd(id int, m *cluster.Machine, coreSocket topo.SocketID, b *Backend) (*FrontEnd, error) {
+	if b.cfg.ValueSize > MaxValueSize {
+		return nil, fmt.Errorf("%w: value size %d exceeds the maximum %d", ErrValueTooLarge, b.cfg.ValueSize, MaxValueSize)
+	}
 	ctx := verbs.NewContext(m)
 	mode := core.Basic
 	if b.cfg.Level >= NUMA {
@@ -247,7 +272,7 @@ func NewFrontEnd(id int, m *cluster.Machine, coreSocket topo.SocketID, b *Backen
 	}
 	blockBytes := (1 << b.cfg.BlockBits) * b.cfg.entrySize()
 	// Scratch: atomic results, entry assembly, read staging.
-	sr, err := m.Alloc(coreSocket, 4096, 0)
+	sr, err := m.Alloc(coreSocket, scratchSize, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +284,8 @@ func NewFrontEnd(id int, m *cluster.Machine, coreSocket topo.SocketID, b *Backen
 		engine:   eng,
 		scratch:  ctx.MustRegisterMR(sr),
 		entryTmp: make([]byte, b.cfg.entrySize()),
+		readTmp:  make([]byte, b.cfg.entrySize()),
+		rdSGL:    make([]verbs.SGE, 1),
 	}
 	if b.cfg.Level >= Reorder {
 		if err := f.initReorder(ctx, m, coreSocket, blockBytes); err != nil {
@@ -422,7 +449,7 @@ func (f *FrontEnd) Get(now sim.Time, key uint64, out []byte) (sim.Time, error) {
 	if f.cfg.Level >= Reorder {
 		if hs, ok := b.hotIndex[key]; ok {
 			s, off := f.hotOffset(hs)
-			buf := make([]byte, f.cfg.entrySize())
+			buf := f.readTmp
 			t, err := f.cons[s].Read(now, off, len(buf), buf)
 			if err != nil {
 				return 0, err
@@ -434,13 +461,12 @@ func (f *FrontEnd) Get(now sim.Time, key uint64, out []byte) (sim.Time, error) {
 	// Cold read: one RDMA read of the whole entry.
 	mr, src := b.coldLocation(key)
 	buf := f.scratch.Region().Bytes()
-	t, err := f.engine.Read(now, f.core,
-		[]verbs.SGE{{Addr: f.scratch.Addr() + 1024, Length: f.cfg.entrySize(), MR: f.scratch}},
-		0, src, mr)
+	f.rdSGL[0] = verbs.SGE{Addr: f.scratch.Addr() + coldReadOff, Length: f.cfg.entrySize(), MR: f.scratch}
+	t, err := f.engine.Read(now, f.core, f.rdSGL, 0, src, mr)
 	if err != nil {
 		return 0, err
 	}
-	copy(out, buf[1024+16:1024+16+f.cfg.ValueSize])
+	copy(out, buf[coldReadOff+16:coldReadOff+16+f.cfg.ValueSize])
 	return t, nil
 }
 

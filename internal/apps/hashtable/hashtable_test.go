@@ -2,6 +2,7 @@ package hashtable
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"rdmasem/internal/cluster"
@@ -243,6 +244,132 @@ func TestValueSizeValidation(t *testing.T) {
 	}
 	if err := b.ReadHot(999, make([]byte, 64)); err == nil {
 		t.Fatal("ReadHot of a cold key must fail")
+	}
+}
+
+// Regression: with a key space that does not divide evenly over the
+// backend's sockets, coldLocation used to truncate perSocket and skip the
+// key%KeySpace reduction, so two distinct keys shared a cold slot while
+// keeping distinct version words — a Get could return another key's value
+// with a "valid" version. Slot and version derivation must now agree.
+func TestColdSlotAliasingNonDivisibleKeySpace(t *testing.T) {
+	cl := newCluster(t, 2)
+	cfg := defaultConfig(Basic, nil)
+	cfg.KeySpace = 11 // 2 sockets: ceil => 6 slots on socket 0, keys 0..10
+	b, err := NewBackend(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 0 and 10 both land on socket 0; the truncated layout folded key
+	// 10 back onto key 0's slot (idx 5 % 5 == 0).
+	v0 := make([]byte, cfg.ValueSize)
+	v10 := make([]byte, cfg.ValueSize)
+	workload.FillValue(v0, 1000)
+	workload.FillValue(v10, 2000)
+	d, err := fe.Put(0, 0, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = fe.Put(d, 10, v10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, cfg.ValueSize)
+	if _, err := fe.Get(d, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, v0) {
+		t.Fatal("key 0 returned key 10's value: cold slots alias")
+	}
+	if _, err := fe.Get(d, 10, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, v10) {
+		t.Fatal("key 10 lost its value")
+	}
+	// Out-of-range keys reduce mod KeySpace for both the slot and the
+	// version word, so key 11 is key 0 under both derivations.
+	mr0, a0 := b.coldLocation(0)
+	mr11, a11 := b.coldLocation(11)
+	if mr0 != mr11 || a0 != a11 {
+		t.Fatal("coldLocation(11) must reduce to coldLocation(0)")
+	}
+	if b.versionAddr(11) != b.versionAddr(0) {
+		t.Fatal("versionAddr(11) must reduce to versionAddr(0)")
+	}
+}
+
+// The scratch MR is a fixed 4 KiB with cold-read staging at offset 1024: a
+// value whose entry does not fit there must be rejected up front instead of
+// silently posting an out-of-bounds SGE.
+func TestFrontEndRejectsOversizedValues(t *testing.T) {
+	cl := newCluster(t, 2)
+	for _, tc := range []struct {
+		value int
+		ok    bool
+	}{{MaxValueSize, true}, {MaxValueSize + 1, false}} {
+		cfg := defaultConfig(Basic, nil)
+		cfg.KeySpace = 16
+		cfg.ValueSize = tc.value
+		b, err := NewBackend(cl.Machine(0), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = NewFrontEnd(1, cl.Machine(1), 0, b)
+		if tc.ok && err != nil {
+			t.Fatalf("value size %d must be accepted: %v", tc.value, err)
+		}
+		if !tc.ok {
+			if !errors.Is(err, ErrValueTooLarge) {
+				t.Fatalf("value size %d: want ErrValueTooLarge, got %v", tc.value, err)
+			}
+		}
+	}
+}
+
+// The Get hot path must not allocate — same ceiling the verbs post path has
+// carried since the op pipeline went allocation-free.
+func TestGetAllocFree(t *testing.T) {
+	cl := newCluster(t, 2)
+	hot := []uint64{40, 41}
+	cfg := defaultConfig(Reorder, hot)
+	cfg.Theta = 100
+	b, err := NewBackend(cl.Machine(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontEnd(1, cl.Machine(1), 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, cfg.ValueSize)
+	workload.FillValue(val, 40)
+	now, err := fe.Put(0, 40, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, cfg.ValueSize)
+	var gerr error
+	// Warm both paths once (shadow residency, QP scratch pools), then pin.
+	if _, gerr = fe.Get(now, 40, out); gerr != nil {
+		t.Fatal(gerr)
+	}
+	if _, gerr = fe.Get(now, 7, out); gerr != nil {
+		t.Fatal(gerr)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		_, gerr = fe.Get(now, 40, out)
+	}); gerr != nil || avg != 0 {
+		t.Fatalf("hot Get: %v allocs/op (err=%v), want 0", avg, gerr)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		_, gerr = fe.Get(now, 7, out)
+	}); gerr != nil || avg != 0 {
+		t.Fatalf("cold Get: %v allocs/op (err=%v), want 0", avg, gerr)
 	}
 }
 

@@ -17,7 +17,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden experiment out
 // central claim: worker count changes wall-clock only, never output bytes.
 var engineWorkersFlag = flag.Int("engine-workers", 0, "sharded-kernel worker count for the golden sweep (0 = serial default)")
 
-// goldenScale keeps the full 27-experiment sweep affordable in the test
+// goldenScale keeps the full multi-experiment sweep affordable in the test
 // suite while still exercising every driver end to end.
 const goldenScale = 0.02
 

@@ -458,3 +458,34 @@ func TestAdaptiveShape(t *testing.T) {
 		t.Errorf("phases: adaptive %.3f must beat best static %.3f", ad, bs)
 	}
 }
+
+func TestTxnShape(t *testing.T) {
+	r := mustRun(t, "txn", 0.05)
+	pcts := defaultTxnConflicts()
+	for _, mode := range txnModes {
+		// Abort rate climbs monotonically with the conflict share, and the
+		// hot end actually aborts.
+		prev := -1.0
+		for _, pct := range pcts {
+			y := yAt(t, r, 1, mode, float64(pct))
+			if y < prev {
+				t.Errorf("%s: abort rate fell %.2f%% -> %.2f%% at %d%% conflicts", mode, prev, y, pct)
+			}
+			prev = y
+		}
+		if first, last := yAt(t, r, 1, mode, float64(pcts[0])), prev; last <= first {
+			t.Errorf("%s: abort rate flat across the sweep (%.2f%% -> %.2f%%)", mode, first, last)
+		}
+		// Conflicts cost committed throughput.
+		if hot, cold := yAt(t, r, 0, mode, float64(pcts[len(pcts)-1])), yAt(t, r, 0, mode, float64(pcts[0])); hot >= cold {
+			t.Errorf("%s: committed throughput did not fall under conflicts (%.3f -> %.3f)", mode, cold, hot)
+		}
+	}
+	// Retransmission latency can only hurt: lossy never beats lossless.
+	for _, pct := range pcts {
+		ll, ly := yAt(t, r, 0, "lossless", float64(pct)), yAt(t, r, 0, "lossy", float64(pct))
+		if ly > ll {
+			t.Errorf("lossy %.3f MTPS beats lossless %.3f at %d%% conflicts", ly, ll, pct)
+		}
+	}
+}

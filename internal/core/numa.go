@@ -55,6 +55,11 @@ type Engine struct {
 	proxyIPC sim.Duration
 	proxied  int64
 	direct   int64
+
+	// wr and asgl are reused across posts: PostSend never retains the WR
+	// past the call, so Read/Write/FetchAdd stay allocation-free.
+	wr   verbs.SendWR
+	asgl [1]verbs.SGE
 }
 
 // maxProxyPayload bounds the payload that rides the proxy's shared-memory
@@ -198,12 +203,13 @@ func (e *Engine) Write(now sim.Time, core topo.SocketID, sgl []verbs.SGE, peer i
 			extra += cost
 		}
 	}
-	comp, err := qp.PostSend(now+extra, &verbs.SendWR{
+	e.wr = verbs.SendWR{
 		Opcode:     verbs.OpWrite,
 		SGL:        sgl,
 		RemoteAddr: remoteAddr,
 		RemoteKey:  rmr.RKey(),
-	})
+	}
+	comp, err := qp.PostSend(now+extra, &e.wr)
 	if err != nil {
 		return 0, err
 	}
@@ -241,12 +247,13 @@ func (e *Engine) Read(now sim.Time, core topo.SocketID, sgl []verbs.SGE, peer in
 	if err != nil {
 		return 0, err
 	}
-	comp, err := qp.PostSend(now+extra, &verbs.SendWR{
+	e.wr = verbs.SendWR{
 		Opcode:     verbs.OpRead,
 		SGL:        sgl,
 		RemoteAddr: remoteAddr,
 		RemoteKey:  rmr.RKey(),
-	})
+	}
+	comp, err := qp.PostSend(now+extra, &e.wr)
 	if err != nil {
 		return 0, err
 	}
@@ -260,13 +267,15 @@ func (e *Engine) FetchAdd(now sim.Time, core topo.SocketID, scratch verbs.SGE, p
 	if err != nil {
 		return 0, 0, err
 	}
-	comp, err := qp.PostSend(now+extra, &verbs.SendWR{
+	e.asgl[0] = scratch
+	e.wr = verbs.SendWR{
 		Opcode:     verbs.OpFetchAdd,
-		SGL:        []verbs.SGE{scratch},
+		SGL:        e.asgl[:],
 		RemoteAddr: remoteAddr,
 		RemoteKey:  rmr.RKey(),
 		CompareAdd: add,
-	})
+	}
+	comp, err := qp.PostSend(now+extra, &e.wr)
 	if err != nil {
 		return 0, 0, err
 	}

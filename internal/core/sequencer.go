@@ -18,6 +18,11 @@ type RemoteSequencer struct {
 	scratch verbs.SGE
 	rmr     *verbs.MR
 	addr    mem.Addr
+
+	// wr and sgl are reused across posts so reservation stays alloc-free
+	// on the txn-commit and log-append hot paths.
+	wr  verbs.SendWR
+	sgl [1]verbs.SGE
 }
 
 // NewRemoteSequencer creates one client's handle to the shared counter at
@@ -39,13 +44,15 @@ func (s *RemoteSequencer) Next(now sim.Time, n uint64) (uint64, sim.Time, error)
 	if n == 0 {
 		return 0, 0, fmt.Errorf("core: must reserve at least one number")
 	}
-	comp, err := s.qp.PostSend(now, &verbs.SendWR{
+	s.sgl[0] = s.scratch
+	s.wr = verbs.SendWR{
 		Opcode:     verbs.OpFetchAdd,
-		SGL:        []verbs.SGE{s.scratch},
+		SGL:        s.sgl[:],
 		RemoteAddr: s.addr,
 		RemoteKey:  s.rmr.RKey(),
 		CompareAdd: n,
-	})
+	}
+	comp, err := s.qp.PostSend(now, &s.wr)
 	if err != nil {
 		return 0, 0, err
 	}

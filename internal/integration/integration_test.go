@@ -125,7 +125,10 @@ func TestFourApplicationsOnOneCluster(t *testing.T) {
 	}
 
 	// Log records are intact after the mixed run.
-	head := gl.Head()
+	head, err := gl.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if head != 100*8 {
 		t.Fatalf("log head %d, want 800", head)
 	}
